@@ -1,0 +1,24 @@
+"""Shared configuration for the figure benchmarks.
+
+Every benchmark regenerates one exhibit from the paper's Appendix (or an
+ablation of a design choice DESIGN.md calls out), prints the series in
+the paper's axes, persists it under ``benchmarks/results/``, and asserts
+the *shape* the paper reports — who wins, by roughly what factor, where
+the curve bends.  Absolute numbers are the simulated SPARC/Ethernet
+model's, not the 1993 testbed's.
+"""
+
+import pytest
+
+#: Message sizes swept by the Appendix figures (bytes).
+SIZES = [64, 128, 256, 512, 1024, 2048, 4096, 6000, 8000, 10000]
+
+
+def messages_for(size: int) -> int:
+    """Enough messages to measure steadily without hour-long runs."""
+    return max(60, min(2000, 300_000 // size))
+
+
+@pytest.fixture
+def sizes():
+    return list(SIZES)

@@ -1,0 +1,49 @@
+"""Ablation: the batch parameter.
+
+"The Information Bus has a batch parameter that increases throughput by
+delaying small messages, and gathering them together."  This ablation
+shows that gain for small messages, its irrelevance for large ones, and
+the latency cost that explains why Figure 5 was measured with it OFF.
+"""
+
+from repro.bench import AppendixExperiment, Report
+
+SMALL, LARGE = 64, 8000
+
+
+def run_ablation():
+    experiment = AppendixExperiment(seed=10)
+    out = {}
+    out["small_on"] = experiment.run_throughput(SMALL, 1500, batching=True)
+    out["small_off"] = experiment.run_throughput(SMALL, 1500,
+                                                 batching=False)
+    out["large_on"] = experiment.run_throughput(LARGE, 60, batching=True)
+    out["large_off"] = experiment.run_throughput(LARGE, 60, batching=False)
+    return out
+
+
+def test_batching_gains_small_messages(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    report = Report("ablation_batching")
+    report.table(
+        "Batching ablation: throughput (1 pub, 14 consumers)",
+        ["size (B)", "batching", "msgs/sec", "KB/sec"],
+        [[SMALL, "ON", results["small_on"].msgs_per_sec,
+          results["small_on"].bytes_per_sec / 1000],
+         [SMALL, "OFF", results["small_off"].msgs_per_sec,
+          results["small_off"].bytes_per_sec / 1000],
+         [LARGE, "ON", results["large_on"].msgs_per_sec,
+          results["large_on"].bytes_per_sec / 1000],
+         [LARGE, "OFF", results["large_off"].msgs_per_sec,
+          results["large_off"].bytes_per_sec / 1000]])
+    report.emit()
+
+    # batching roughly doubles small-message throughput ...
+    assert results["small_on"].msgs_per_sec > \
+        1.5 * results["small_off"].msgs_per_sec
+    # ... and makes little difference for large messages (per-byte cost
+    # dominates; a 8000-byte message fills its datagrams anyway)
+    ratio = results["large_on"].msgs_per_sec / \
+        results["large_off"].msgs_per_sec
+    assert 0.8 < ratio < 1.3

@@ -1,0 +1,55 @@
+"""Appendix claims about the number of consumers.
+
+"Although not shown, the latency is independent of the number of
+consumers" and "the publication rate is independent of the number of
+subscribers.  Therefore, the cumulative throughput over all subscribers
+is proportional to the number of subscribers."  Both are consequences of
+Ethernet broadcast: one transmission serves every listener.
+"""
+
+from repro.bench import AppendixExperiment, Report
+
+CONSUMER_COUNTS = [1, 2, 4, 8, 14]
+SIZE = 512
+MESSAGES = 600
+SAMPLES = 40
+
+
+def run_sweep():
+    latency, throughput = [], []
+    for consumers in CONSUMER_COUNTS:
+        experiment = AppendixExperiment(seed=9, consumers=consumers)
+        latency.append((consumers,
+                        experiment.run_latency(SIZE, samples=SAMPLES)))
+        throughput.append((consumers,
+                           experiment.run_throughput(SIZE, MESSAGES)))
+    return latency, throughput
+
+
+def test_consumer_count_independence(benchmark):
+    latency, throughput = benchmark.pedantic(run_sweep, rounds=1,
+                                             iterations=1)
+
+    report = Report("ablation_consumers")
+    report.table(
+        f"Latency vs consumer count ({SIZE}-byte messages, batching OFF)",
+        ["consumers", "mean latency (ms)", "99% CI ± (ms)"],
+        [[n, r.mean_ms, r.ci99_ms] for n, r in latency])
+    report.table(
+        f"Throughput vs consumer count ({SIZE}-byte messages, "
+        f"batching ON)",
+        ["consumers", "per-consumer msgs/sec", "cumulative msgs/sec"],
+        [[n, r.msgs_per_sec, r.cumulative_msgs_per_sec]
+         for n, r in throughput])
+    report.emit()
+
+    # latency is independent of the number of consumers
+    means = [r.mean_ms for _, r in latency]
+    assert max(means) / min(means) < 1.15
+    # per-consumer delivery rate is independent of the subscriber count
+    rates = [r.msgs_per_sec for _, r in throughput]
+    assert max(rates) / min(rates) < 1.15
+    # cumulative throughput is proportional to the subscriber count
+    base = throughput[0][1].cumulative_msgs_per_sec
+    for n, r in throughput:
+        assert abs(r.cumulative_msgs_per_sec - n * base) / (n * base) < 0.15

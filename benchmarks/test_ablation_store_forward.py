@@ -1,0 +1,110 @@
+"""Ablation: the price of store-and-forward routing.
+
+Plain routing forwards in memory; store-and-forward stably logs every
+guaranteed message at the ingress leg and waits for durable confirmation
+from the egress leg.  This ablation measures what that durability costs
+in cross-WAN latency and stable-storage writes — and what it buys: zero
+loss across a WAN outage that the plain router simply drops through.
+"""
+
+from repro.bench import Report, summarize
+from repro.core import BusConfig, InformationBus, QoS, Router, WanLink
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           standard_registry)
+from repro.sim import CostModel, Simulator
+
+MESSAGES = 40
+
+
+def build(store_and_forward):
+    sim = Simulator(seed=19)
+    config = BusConfig()
+    config.advert_interval = 0.4
+    west = InformationBus(cost=CostModel.ideal(), name="west", sim=sim,
+                          config=config)
+    east = InformationBus(cost=CostModel.ideal(), name="east", sim=sim,
+                          config=config)
+    west.add_hosts(2, prefix="w")
+    east.add_hosts(2, prefix="e")
+    router = Router(link=WanLink(latency=0.02),
+                    store_and_forward=store_and_forward)
+    west_leg = router.add_leg(west)
+    router.add_leg(east)
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "evt", attributes=[AttributeSpec("n", "int")]))
+    publisher = west.client("w00", "feed", registry=reg)
+    arrivals = {}
+    east.client("e00", "mon").subscribe(
+        "wan.>", lambda s, o, i: arrivals.setdefault(o.get("n"), sim.now),
+        durable=True)
+    sim.run_until(2.0)
+    return sim, router, west_leg, publisher, reg, arrivals
+
+
+def run_mode(store_and_forward, outage):
+    sim, router, west_leg, publisher, reg, arrivals = build(
+        store_and_forward)
+    writes_before = west_leg.host.stable.write_count
+    if outage:
+        sim.schedule_at(2.1, router.link.fail)
+        sim.schedule_at(4.0, router.link.restore)
+    send_times = {}
+    for n in range(MESSAGES):
+        def send(n=n):
+            send_times[n] = sim.now
+            publisher.publish("wan.data", DataObject(reg, "evt", n=n),
+                              qos=QoS.GUARANTEED)
+        sim.schedule_at(2.05 + n * 0.05, send)
+    sim.run_until(20.0)
+    latencies = [arrivals[n] - send_times[n] for n in arrivals]
+    return {
+        "delivered": len(arrivals),
+        "latency": summarize(latencies) if latencies else None,
+        "stable_writes": west_leg.host.stable.write_count - writes_before,
+    }
+
+
+def run_ablation():
+    return {
+        "plain": run_mode(False, outage=False),
+        "sf": run_mode(True, outage=False),
+        "plain_outage": run_mode(False, outage=True),
+        "sf_outage": run_mode(True, outage=True),
+    }
+
+
+def test_store_and_forward_costs_and_benefits(benchmark):
+    results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    report = Report("ablation_store_forward")
+    rows = []
+    for key, label in [("plain", "plain"), ("sf", "store-and-forward"),
+                       ("plain_outage", "plain + 1.9s WAN outage"),
+                       ("sf_outage", "store-and-forward + outage")]:
+        r = results[key]
+        rows.append([label, f"{r['delivered']}/{MESSAGES}",
+                     r["latency"].mean * 1000 if r["latency"] else "-",
+                     r["stable_writes"]])
+    report.table(
+        "Store-and-forward ablation (guaranteed QoS across a 20ms WAN)",
+        ["mode", "delivered", "mean cross-WAN latency (ms)",
+         "ingress stable writes"],
+        rows)
+    report.emit()
+
+    # healthy link: both modes deliver everything; S&F pays stable I/O
+    assert results["plain"]["delivered"] == MESSAGES
+    assert results["sf"]["delivered"] == MESSAGES
+    assert results["sf"]["stable_writes"] > MESSAGES
+    assert results["plain"]["stable_writes"] == 0
+    # latency overhead of logging is modest (well under 2x here)
+    assert results["sf"]["latency"].mean < \
+        2.0 * results["plain"]["latency"].mean + 0.01
+    # the payoff: through a WAN outage, plain routing loses messages
+    # (guaranteed or not — the publisher was acked by its local durable
+    # router? no: plain legs are non-durable, so the publisher ledger
+    # never clears, but the *cross-WAN copies* are simply dropped);
+    # store-and-forward delivers every single one
+    assert results["plain_outage"]["delivered"] < MESSAGES
+    assert results["sf_outage"]["delivered"] == MESSAGES

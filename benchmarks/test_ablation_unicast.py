@@ -1,0 +1,46 @@
+"""Ablation: why Ethernet broadcast.
+
+"This choice allows the same data to be delivered to a large number of
+destinations without a performance penalty."  The counterfactual: a
+publisher that must transmit one point-to-point copy per consumer.  With
+14 consumers, broadcast should win by roughly that factor.
+"""
+
+from repro.bench import AppendixExperiment, Report
+
+SIZE = 512
+MESSAGES = 150
+CONSUMERS = 14
+
+
+def run_ablation():
+    broadcast = AppendixExperiment(
+        seed=11, consumers=CONSUMERS).run_throughput(SIZE, MESSAGES)
+    unicast = AppendixExperiment(
+        seed=11, consumers=CONSUMERS,
+        unicast_fanout=True).run_throughput(SIZE, MESSAGES)
+    return broadcast, unicast
+
+
+def test_broadcast_beats_unicast_fanout(benchmark):
+    broadcast, unicast = benchmark.pedantic(run_ablation, rounds=1,
+                                            iterations=1)
+
+    report = Report("ablation_unicast")
+    report.table(
+        f"Broadcast vs unicast fan-out ({SIZE}-byte messages, "
+        f"{CONSUMERS} consumers)",
+        ["fan-out", "per-consumer msgs/sec", "cumulative msgs/sec"],
+        [["broadcast", broadcast.msgs_per_sec,
+          broadcast.cumulative_msgs_per_sec],
+         ["unicast", unicast.msgs_per_sec,
+          unicast.cumulative_msgs_per_sec]])
+    report.emit()
+
+    factor = broadcast.msgs_per_sec / unicast.msgs_per_sec
+    # one transmission serves all 14 listeners: expect ~14x, allow slack
+    # for batching and per-packet overheads
+    assert factor > CONSUMERS * 0.6, \
+        f"broadcast should win by ~{CONSUMERS}x, got {factor:.1f}x"
+    assert broadcast.delivery_ratio > 0.999
+    assert unicast.delivery_ratio > 0.999

@@ -1,0 +1,53 @@
+"""Figure 5: Latency vs. message size.
+
+Paper setup: "one publisher publishing under a single subject ...
+consumed by fourteen consumers (one consumer per node) ... the batch
+parameter was turned off", mean latency with 99%-confidence intervals.
+Paper claims: latency depends on message size; variances between
+1.1e-4 and 1.7e-2 ms.
+"""
+
+from conftest import SIZES
+
+from repro.bench import AppendixExperiment, Report, ascii_chart
+
+
+def run_figure5():
+    experiment = AppendixExperiment(seed=5)
+    return [experiment.run_latency(size, samples=40, interval=0.1)
+            for size in SIZES]
+
+
+def test_fig5_latency_vs_message_size(benchmark):
+    results = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+
+    report = Report("fig5_latency")
+    report.table(
+        "Figure 5: Latency of Publish/Subscribe (1 pub, 14 consumers, "
+        "batching OFF)",
+        ["size (B)", "mean (ms)", "99% CI ± (ms)", "variance (ms^2)",
+         "samples"],
+        [[r.size, r.mean_ms, r.ci99_ms, r.variance_ms, r.summary().n]
+         for r in results])
+    report.add(ascii_chart(
+        [(r.size, r.mean_ms) for r in results],
+        title="Figure 5 (regenerated): Latency of Publish/Subscribe",
+        x_label="message size (B)", y_label="latency (ms)",
+        log_x=True, errors=[max(r.ci99_ms, 0.2) for r in results]))
+    report.emit()
+
+    by_size = {r.size: r for r in results}
+    # latency grows with message size (the figure's visible slope)
+    assert by_size[10000].mean_ms > 5 * by_size[64].mean_ms
+    means = [by_size[s].mean_ms for s in SIZES]
+    assert all(b > a * 0.8 for a, b in zip(means, means[1:])), \
+        "latency should be (noisily) non-decreasing in size"
+    # millisecond scale, like the paper's y-axis
+    assert 0.1 < by_size[64].mean_ms < 20
+    assert 5 < by_size[10000].mean_ms < 200
+    # tight 99% CIs: the dashed lines hug the curve
+    assert all(r.ci99_ms < 0.2 * r.mean_ms + 0.5 for r in results)
+    # every sample from every consumer arrived (reliable delivery)
+    assert all(r.summary().n == 40 * 14 for r in results)
+    # nonzero, small variance (paper: 1.1e-4 .. 1.7e-2 ms)
+    assert all(r.variance_ms > 0 for r in results)

@@ -1,0 +1,47 @@
+"""Figure 8: Effect of the number of subjects on throughput.
+
+Paper setup: "the publisher published on ten thousand different subjects
+instead of one, and the fourteen consumers subscribed to all ten
+thousand subjects."  Claim: "the number of subjects has an insignificant
+influence on the throughput."
+"""
+
+from repro.bench import AppendixExperiment, Report, ascii_chart
+
+SIZE = 1024
+MESSAGES = 1200
+SUBJECT_COUNTS = [1, 100, 10000]
+
+
+def run_figure8():
+    experiment = AppendixExperiment(seed=8)
+    return [(count, experiment.run_throughput(SIZE, MESSAGES,
+                                              subjects=count))
+            for count in SUBJECT_COUNTS]
+
+
+def test_fig8_subject_count_insignificant(benchmark):
+    results = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+
+    report = Report("fig8_subjects")
+    report.table(
+        f"Figure 8: Effect of the Number of Subjects ({SIZE}-byte "
+        f"messages, batching ON)",
+        ["subjects", "KB/sec", "msgs/sec", "rate variance", "delivered"],
+        [[count, r.bytes_per_sec / 1000, r.msgs_per_sec,
+          r.rate_summary().variance, f"{r.delivery_ratio:.4f}"]
+         for count, r in results])
+    report.add(ascii_chart(
+        [(count, r.bytes_per_sec / 1000) for count, r in results],
+        title="Figure 8 (regenerated): subject count vs throughput "
+              "(flat, as the paper reports)",
+        x_label="number of subjects", y_label="KB/sec", log_x=True))
+    report.emit()
+
+    rates = {count: r.bytes_per_sec for count, r in results}
+    # the 10,000-subject run is within a whisker of the 1-subject run:
+    # subject matching is a trie walk, not a table scan
+    assert abs(rates[10000] - rates[1]) / rates[1] < 0.10, \
+        "subject count must have insignificant influence on throughput"
+    assert abs(rates[100] - rates[1]) / rates[1] < 0.10
+    assert all(r.delivery_ratio > 0.999 for _, r in results)

@@ -1,0 +1,52 @@
+"""Scale: toward the intro's "one hundred to a thousand workstations".
+
+The paper's Appendix measures 15 nodes; its introduction claims the
+architecture serves plants of "one hundred to a thousand workstations".
+The property that makes that plausible is the broadcast fan-out: the
+publisher's cost — and therefore every consumer's delivery rate — is
+flat in the number of consumers.  This bench extends the consumer sweep
+well past the Appendix's 14 to show the flat line holding.
+"""
+
+from repro.bench import AppendixExperiment, Report, ascii_chart
+
+CONSUMER_COUNTS = [14, 30, 60, 100]
+SIZE = 512
+MESSAGES = 300
+
+
+def run_sweep():
+    out = []
+    for consumers in CONSUMER_COUNTS:
+        experiment = AppendixExperiment(seed=18, nodes=consumers + 1,
+                                        consumers=consumers)
+        out.append((consumers, experiment.run_throughput(SIZE, MESSAGES)))
+    return out
+
+
+def test_throughput_flat_to_one_hundred_consumers(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    report = Report("scale_consumers")
+    report.table(
+        f"Scaling the consumer population ({SIZE}-byte messages, "
+        f"batching ON)",
+        ["consumers", "per-consumer msgs/sec", "cumulative msgs/sec",
+         "delivered"],
+        [[n, r.msgs_per_sec, r.cumulative_msgs_per_sec,
+          f"{r.delivery_ratio:.4f}"] for n, r in results])
+    report.add(ascii_chart(
+        [(n, r.msgs_per_sec) for n, r in results],
+        title="Per-consumer delivery rate vs consumer count (flat = "
+              "broadcast wins)",
+        x_label="consumers", y_label="msgs/sec"))
+    report.emit()
+
+    rates = [r.msgs_per_sec for _, r in results]
+    assert max(rates) / min(rates) < 1.10, \
+        "per-consumer rate must stay flat as the population grows"
+    assert all(r.delivery_ratio > 0.999 for _, r in results)
+    # cumulative throughput keeps scaling linearly
+    base = results[0][1].cumulative_msgs_per_sec / CONSUMER_COUNTS[0]
+    for n, r in results:
+        assert abs(r.cumulative_msgs_per_sec - n * base) / (n * base) < 0.10

@@ -1,0 +1,62 @@
+"""``python -m repro`` — run the example walk-throughs.
+
+Usage::
+
+    python -m repro                 # list the examples
+    python -m repro quickstart      # run one
+    python -m repro all             # run every example in order
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+EXAMPLES = ["quickstart", "trading_floor", "fab_floor",
+            "dynamic_evolution", "operations_console", "wan_trading",
+            "market_data"]
+
+
+def _examples_dir() -> str:
+    # installed editable from a checkout: examples/ sits next to src/
+    here = os.path.dirname(os.path.abspath(__file__))
+    for candidate in (
+            os.path.join(os.path.dirname(os.path.dirname(here)),
+                         "examples"),
+            os.path.join(os.getcwd(), "examples")):
+        if os.path.isdir(candidate):
+            return candidate
+    raise SystemExit("cannot locate the examples/ directory; "
+                     "run from a checkout")
+
+
+def run(name: str) -> None:
+    path = os.path.join(_examples_dir(), f"{name}.py")
+    if not os.path.exists(path):
+        raise SystemExit(f"no such example: {name}\n"
+                         f"available: {', '.join(EXAMPLES)}")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip())
+        print("\navailable examples:")
+        for name in EXAMPLES:
+            print(f"  {name}")
+        return 0
+    targets = EXAMPLES if argv[0] == "all" else argv
+    for index, name in enumerate(targets):
+        if index:
+            print("\n" + "=" * 72 + "\n")
+        print(f">>> {name}\n")
+        run(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,20 @@
+"""Adapters: bridges between legacy systems and the Information Bus
+(Section 4)."""
+
+from .base import Adapter
+from .news.story import (DOWJONES_STORY_TYPE, REUTERS_STORY_TYPE, STORY_TYPE,
+                         news_subject, register_news_types)
+from .news.feeds import DowJonesFeed, ReutersFeed, TOPICS
+from .news.dowjones import DowJonesAdapter
+from .news.reuters import ReutersAdapter
+from .wip.terminal import WipLotRecord, WipTerminal
+from .wip.adapter import (COMMAND_SUBJECT, WIP_COMMAND_TYPE, WIP_LOT_TYPE,
+                          WipAdapter, register_wip_types, status_subject)
+
+__all__ = [
+    "Adapter", "COMMAND_SUBJECT", "DOWJONES_STORY_TYPE", "DowJonesAdapter",
+    "DowJonesFeed", "REUTERS_STORY_TYPE", "ReutersAdapter", "ReutersFeed",
+    "STORY_TYPE", "TOPICS", "WIP_COMMAND_TYPE", "WIP_LOT_TYPE", "WipAdapter",
+    "WipLotRecord", "WipTerminal", "news_subject", "register_news_types",
+    "register_wip_types", "status_subject",
+]

@@ -1,0 +1,11 @@
+"""News-wire adapters for the trading-floor example (Figure 3)."""
+
+from .story import (DOWJONES_STORY_TYPE, REUTERS_STORY_TYPE, STORY_TYPE,
+                    news_subject, register_news_types)
+from .feeds import DowJonesFeed, ReutersFeed, TOPICS
+from .dowjones import DowJonesAdapter
+from .reuters import ReutersAdapter
+
+__all__ = ["DOWJONES_STORY_TYPE", "DowJonesAdapter", "DowJonesFeed",
+           "REUTERS_STORY_TYPE", "ReutersAdapter", "ReutersFeed",
+           "STORY_TYPE", "TOPICS", "news_subject", "register_news_types"]

@@ -1,0 +1,70 @@
+"""The Dow Jones news adapter: raw wire text -> dowjones_story objects.
+
+One of the two "news adapters [that] receive news stories from
+communication feeds connected to outside news services" in Figure 3.
+Thanks to P1 (minimal core semantics), the raw feed "does not have to
+support complex semantics" — the adapter does all the translation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...core import BusClient
+from ...objects import DataObject
+from ..base import Adapter
+from .story import DOWJONES_STORY_TYPE, news_subject, register_news_types
+
+__all__ = ["DowJonesAdapter"]
+
+
+class DowJonesAdapter(Adapter):
+    """Parses the pipe-delimited DJ wire format and publishes stories."""
+
+    def __init__(self, client: BusClient, name: str = "dowjones_adapter"):
+        super().__init__(client, name)
+        register_news_types(client.registry)
+
+    def feed_sink(self, raw: str) -> None:
+        """Entry point wired to a :class:`~repro.adapters.news.feeds.
+        DowJonesFeed`."""
+        story = self.parse(raw)
+        if story is None:
+            return
+        self.inbound += 1
+        self.client.publish(
+            news_subject(story.get("category"), story.get("topic")), story)
+
+    def parse(self, raw: str) -> Optional[DataObject]:
+        """One raw line -> a ``dowjones_story``, or None on junk input."""
+        parts = raw.split("|")
+        if len(parts) < 6 or parts[0] != "DJ":
+            self.record_error(f"malformed DJ record: {raw[:60]!r}")
+            return None
+        code, category, topic, headline, body = parts[1:6]
+        if not (code and category and topic and headline):
+            self.record_error(f"missing DJ fields: {raw[:60]!r}")
+            return None
+        attrs = {
+            "djcode": code,
+            "category": category,
+            "topic": topic,
+            "headline": headline,
+            "body": body,
+            "sources": ["Dow Jones"],
+        }
+        for extra in parts[6:]:
+            if extra.startswith("IG:"):
+                attrs["industry_groups"] = \
+                    [g for g in extra[3:].split(",") if g]
+            elif extra.startswith("CC:"):
+                attrs["country_codes"] = \
+                    [c for c in extra[3:].split(",") if c]
+            elif extra.startswith("PG:"):
+                attrs["page"] = extra[3:]
+        try:
+            return DataObject(self.client.registry, DOWJONES_STORY_TYPE,
+                              attrs)
+        except Exception as error:
+            self.record_error(f"DJ validation: {error}")
+            return None

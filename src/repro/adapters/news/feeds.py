@@ -1,0 +1,130 @@
+"""Simulated raw news feeds (the paper's Dow Jones / Reuters wires).
+
+Each feed generates deterministic synthetic stories in its own vendor
+wire format and pushes the *raw text* to a sink callback on a timer —
+exactly the shape of "communication feeds connected to outside news
+services" that the adapters in :mod:`repro.adapters.news` must parse.
+
+The two formats are intentionally dissimilar (one pipe-delimited single
+line, one multi-line key: value) so the adapters genuinely translate
+heterogeneous legacy schemas, per requirement R3.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ...sim.kernel import PeriodicTimer, Simulator
+
+__all__ = ["DowJonesFeed", "ReutersFeed", "TOPICS"]
+
+#: (category, topic, company name) triples the generators draw from.
+TOPICS: List[Tuple[str, str, str]] = [
+    ("equity", "gmc", "General Motors"),
+    ("equity", "ibm", "IBM"),
+    ("equity", "tsm", "Taiwan Semiconductor"),
+    ("bond", "us10y", "10-Year Treasury"),
+    ("fx", "usdjpy", "Dollar-Yen"),
+    ("commodity", "crude", "Crude Oil"),
+]
+
+_VERBS = ["rises", "falls", "surges", "slips", "steadies", "rallies"]
+_REASONS = ["on earnings", "after fab5 yield report", "on rate outlook",
+            "as volumes spike", "on export data", "amid chip shortage"]
+_GROUPS = ["semis", "autos", "banks", "energy", "tech"]
+_COUNTRIES = ["us", "jp", "de", "tw", "uk"]
+
+
+class _FeedBase:
+    """Shared machinery: a timer that emits one raw story per period."""
+
+    def __init__(self, sim: Simulator, sink: Callable[[str], None],
+                 interval: float, rng_stream: str):
+        self.sim = sim
+        self.sink = sink
+        self.rng = sim.rng(rng_stream)
+        self.emitted = 0
+        self._timer: Optional[PeriodicTimer] = PeriodicTimer(
+            sim, interval, self._emit, name=rng_stream)
+
+    def _emit(self) -> None:
+        self.emitted += 1
+        self.sink(self.generate())
+
+    def generate(self) -> str:
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+
+    def _pick_story_parts(self):
+        category, topic, company = self.rng.choice(TOPICS)
+        verb = self.rng.choice(_VERBS)
+        reason = self.rng.choice(_REASONS)
+        headline = f"{company} {verb} {reason}"
+        body = (f"{company} {verb} {reason}. Desk analysts note trading "
+                f"volume of {self.rng.randint(1, 99)}M shares. "
+                f"More to follow.")
+        groups = sorted(self.rng.sample(_GROUPS, self.rng.randint(1, 3)))
+        countries = sorted(self.rng.sample(_COUNTRIES,
+                                           self.rng.randint(1, 3)))
+        return category, topic, headline, body, groups, countries
+
+
+class DowJonesFeed(_FeedBase):
+    """Pipe-delimited single-line wire format::
+
+        DJ|<code>|<category>|<topic>|<headline>|<body>|IG:a,b|CC:us,jp|PG:N7
+    """
+
+    def __init__(self, sim: Simulator, sink: Callable[[str], None],
+                 interval: float = 0.5):
+        super().__init__(sim, sink, interval, "feed.dowjones")
+
+    def generate(self) -> str:
+        category, topic, headline, body, groups, countries = \
+            self._pick_story_parts()
+        code = f"DJ{self.emitted:06d}"
+        page = f"N{self.rng.randint(1, 9)}"
+        return "|".join([
+            "DJ", code, category, topic, headline, body,
+            "IG:" + ",".join(groups),
+            "CC:" + ",".join(countries),
+            "PG:" + page,
+        ])
+
+
+class ReutersFeed(_FeedBase):
+    """Multi-line key/value wire format::
+
+        RTR <ric> P<priority>
+        CAT: equity
+        TOP: gmc
+        HEADLINE: ...
+        BODY: ...
+        GROUPS: a;b
+        COUNTRY: us;jp
+        ENDS
+    """
+
+    def __init__(self, sim: Simulator, sink: Callable[[str], None],
+                 interval: float = 0.7):
+        super().__init__(sim, sink, interval, "feed.reuters")
+
+    def generate(self) -> str:
+        category, topic, headline, body, groups, countries = \
+            self._pick_story_parts()
+        ric = f"{topic.upper()}.N"
+        priority = self.rng.randint(1, 4)
+        return "\n".join([
+            f"RTR {ric} P{priority}",
+            f"CAT: {category}",
+            f"TOP: {topic}",
+            f"HEADLINE: {headline}",
+            f"BODY: {body}",
+            "GROUPS: " + ";".join(groups),
+            "COUNTRY: " + ";".join(countries),
+            "ENDS",
+        ])

@@ -1,0 +1,80 @@
+"""The Reuters news adapter: multi-line wire text -> reuters_story objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...core import BusClient
+from ...objects import DataObject
+from ..base import Adapter
+from .story import REUTERS_STORY_TYPE, news_subject, register_news_types
+
+__all__ = ["ReutersAdapter"]
+
+
+class ReutersAdapter(Adapter):
+    """Parses the RTR key/value wire format and publishes stories."""
+
+    def __init__(self, client: BusClient, name: str = "reuters_adapter"):
+        super().__init__(client, name)
+        register_news_types(client.registry)
+
+    def feed_sink(self, raw: str) -> None:
+        story = self.parse(raw)
+        if story is None:
+            return
+        self.inbound += 1
+        self.client.publish(
+            news_subject(story.get("category"), story.get("topic")), story)
+
+    def parse(self, raw: str) -> Optional[DataObject]:
+        """One raw record -> a ``reuters_story``, or None on junk input."""
+        lines = [line for line in raw.splitlines() if line.strip()]
+        if not lines or not lines[0].startswith("RTR "):
+            self.record_error(f"not an RTR record: {raw[:60]!r}")
+            return None
+        header = lines[0].split()
+        if len(header) < 3 or not header[2].startswith("P"):
+            self.record_error(f"bad RTR header: {lines[0]!r}")
+            return None
+        ric = header[1]
+        try:
+            priority = int(header[2][1:])
+        except ValueError:
+            self.record_error(f"bad RTR priority: {header[2]!r}")
+            return None
+        fields: Dict[str, str] = {}
+        for line in lines[1:]:
+            if line == "ENDS":
+                break
+            if ": " not in line:
+                self.record_error(f"bad RTR field line: {line!r}")
+                return None
+            key, value = line.split(": ", 1)
+            fields[key] = value
+        required = ("CAT", "TOP", "HEADLINE")
+        if any(key not in fields for key in required):
+            self.record_error(f"missing RTR fields in: {raw[:60]!r}")
+            return None
+        attrs = {
+            "ric": ric,
+            "priority": priority,
+            "category": fields["CAT"],
+            "topic": fields["TOP"],
+            "headline": fields["HEADLINE"],
+            "sources": ["Reuters"],
+        }
+        if "BODY" in fields:
+            attrs["body"] = fields["BODY"]
+        if "GROUPS" in fields:
+            attrs["industry_groups"] = \
+                [g for g in fields["GROUPS"].split(";") if g]
+        if "COUNTRY" in fields:
+            attrs["country_codes"] = \
+                [c for c in fields["COUNTRY"].split(";") if c]
+        try:
+            return DataObject(self.client.registry, REUTERS_STORY_TYPE,
+                              attrs)
+        except Exception as error:
+            self.record_error(f"RTR validation: {error}")
+            return None

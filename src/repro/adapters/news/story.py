@@ -1,0 +1,69 @@
+"""The Story type hierarchy from the trading-floor example (Section 5).
+
+    "Each adapter parses the received data into an appropriate
+    vendor-specific subtype of a common Story supertype, and publishes
+    each story on the Information Bus under a subject describing the
+    story's primary topic (for example, 'news.equity.gmc')."
+
+A story "is a highly structured object containing other objects such as
+lists of 'industry groups', 'sources', and 'country codes'" — exactly the
+attributes declared here, which is what makes the Object Repository's
+decomposition non-trivial.
+"""
+
+from __future__ import annotations
+
+from ...objects import AttributeSpec, TypeDescriptor, TypeRegistry
+
+__all__ = ["STORY_TYPE", "DOWJONES_STORY_TYPE", "REUTERS_STORY_TYPE",
+           "register_news_types", "news_subject"]
+
+STORY_TYPE = "story"
+DOWJONES_STORY_TYPE = "dowjones_story"
+REUTERS_STORY_TYPE = "reuters_story"
+
+
+def register_news_types(registry: TypeRegistry) -> None:
+    """Register the common supertype and both vendor subtypes (idempotent)."""
+    if not registry.has(STORY_TYPE):
+        registry.register(TypeDescriptor(
+            STORY_TYPE,
+            attributes=[
+                AttributeSpec("headline", "string"),
+                AttributeSpec("body", "string", required=False),
+                AttributeSpec("category", "string",
+                              doc="primary category, e.g. 'equity'"),
+                AttributeSpec("topic", "string",
+                              doc="primary topic, e.g. 'gmc'"),
+                AttributeSpec("industry_groups", "list<string>",
+                              required=False),
+                AttributeSpec("sources", "list<string>", required=False),
+                AttributeSpec("country_codes", "list<string>",
+                              required=False),
+            ],
+            doc="a news story (common supertype across wire vendors)"))
+    if not registry.has(DOWJONES_STORY_TYPE):
+        registry.register(TypeDescriptor(
+            DOWJONES_STORY_TYPE, supertype=STORY_TYPE,
+            attributes=[
+                AttributeSpec("djcode", "string",
+                              doc="Dow Jones story code"),
+                AttributeSpec("page", "string", required=False,
+                              doc="newswire page reference"),
+            ],
+            doc="a story as delivered by the Dow Jones feed"))
+    if not registry.has(REUTERS_STORY_TYPE):
+        registry.register(TypeDescriptor(
+            REUTERS_STORY_TYPE, supertype=STORY_TYPE,
+            attributes=[
+                AttributeSpec("ric", "string",
+                              doc="Reuters instrument code"),
+                AttributeSpec("priority", "int", required=False,
+                              doc="wire priority, 1 = flash"),
+            ],
+            doc="a story as delivered by the Reuters feed"))
+
+
+def news_subject(category: str, topic: str) -> str:
+    """The bus subject for a story: ``news.<category>.<topic>``."""
+    return f"news.{category}.{topic}"

@@ -1,0 +1,9 @@
+"""The legacy WIP system and its virtual-user adapter (Section 4)."""
+
+from .terminal import WipLotRecord, WipTerminal
+from .adapter import (COMMAND_SUBJECT, WIP_COMMAND_TYPE, WIP_LOT_TYPE,
+                      WipAdapter, register_wip_types, status_subject)
+
+__all__ = ["COMMAND_SUBJECT", "WIP_COMMAND_TYPE", "WIP_LOT_TYPE",
+           "WipAdapter", "WipLotRecord", "WipTerminal",
+           "register_wip_types", "status_subject"]

@@ -1,0 +1,189 @@
+"""The WIP adapter: a "virtual user" at the legacy terminal.
+
+It bridges two worlds (Section 4): on the bus side it subscribes to
+``fab5.wip.command`` objects and publishes ``wip_lot`` status objects; on
+the legacy side it types menu selections and form fields into the
+:class:`~repro.adapters.wip.terminal.WipTerminal` and screen-scrapes the
+fixed-width replies back into data objects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from ...core import BusClient, MessageInfo
+from ...objects import AttributeSpec, DataObject, TypeDescriptor, TypeRegistry
+from ..base import Adapter
+from .terminal import WipTerminal
+
+__all__ = ["WIP_COMMAND_TYPE", "WIP_LOT_TYPE", "WipAdapter",
+           "register_wip_types", "COMMAND_SUBJECT", "status_subject"]
+
+WIP_LOT_TYPE = "wip_lot"
+WIP_COMMAND_TYPE = "wip_command"
+
+#: Commands to the WIP system arrive here.
+COMMAND_SUBJECT = "fab5.wip.command"
+
+
+def status_subject(lot_id: str) -> str:
+    """Lot status updates are published per-lot: ``fab5.wip.status.<lot>``."""
+    return f"fab5.wip.status.{lot_id.lower()}"
+
+
+def register_wip_types(registry: TypeRegistry) -> None:
+    """Register the WIP object types (idempotent)."""
+    if not registry.has(WIP_LOT_TYPE):
+        registry.register(TypeDescriptor(
+            WIP_LOT_TYPE,
+            attributes=[
+                AttributeSpec("lot_id", "string"),
+                AttributeSpec("product", "string"),
+                AttributeSpec("step", "string"),
+                AttributeSpec("qty", "int"),
+                AttributeSpec("status", "string"),
+            ],
+            doc="one lot as tracked by the legacy WIP system"))
+    if not registry.has(WIP_COMMAND_TYPE):
+        registry.register(TypeDescriptor(
+            WIP_COMMAND_TYPE,
+            attributes=[
+                AttributeSpec("verb", "string",
+                              doc="inquire | track_in | track_out | hold "
+                                  "| new_lot | list_lots"),
+                AttributeSpec("lot_id", "string", required=False),
+                AttributeSpec("step", "string", required=False),
+                AttributeSpec("product", "string", required=False),
+                AttributeSpec("qty", "int", required=False),
+            ],
+            doc="a request to the WIP system"))
+
+
+#: How each bus verb is typed at the terminal: (menu choice, field builder)
+_VERB_MENU = {"inquire": "1", "track_in": "2", "track_out": "3",
+              "hold": "4", "new_lot": "5", "list_lots": "6"}
+
+_FIELD_RE = re.compile(r"^\* (LOT ID|PRODUCT|STEP|QTY|STATUS)\s*: (.*?)\s*\*?$")
+
+
+class WipAdapter(Adapter):
+    """Drives the terminal as a virtual user; speaks objects on the bus."""
+
+    def __init__(self, client: BusClient, terminal: WipTerminal,
+                 name: str = "wip_adapter"):
+        super().__init__(client, name)
+        self.terminal = terminal
+        register_wip_types(client.registry)
+        self.track_subscription(
+            client.subscribe(COMMAND_SUBJECT, self._on_command))
+
+    # ------------------------------------------------------------------
+    # bus -> terminal
+    # ------------------------------------------------------------------
+    def _on_command(self, subject: str, obj, info: MessageInfo) -> None:
+        if not (isinstance(obj, DataObject) and obj.is_a(WIP_COMMAND_TYPE)):
+            self.record_error(f"non-command on {subject}")
+            return
+        self.outbound += 1
+        verb = obj.get("verb")
+        menu_choice = _VERB_MENU.get(verb)
+        if menu_choice is None:
+            self.record_error(f"unknown WIP verb {verb!r}")
+            self._publish_error(obj.get("lot_id") or "unknown",
+                                f"unknown verb {verb!r}")
+            return
+        self.terminal.send(menu_choice)
+        if verb == "list_lots":
+            self._scrape_and_publish_list()
+            return
+        self.terminal.send(self._form_line(verb, obj))
+        self._scrape_and_publish(obj.get("lot_id"))
+
+    def _form_line(self, verb: str, obj: DataObject) -> str:
+        lot_id = obj.get("lot_id", "")
+        if verb == "track_out":
+            return f"{lot_id},{obj.get('step', '')}"
+        if verb == "new_lot":
+            return (f"{lot_id},{obj.get('product', '')},"
+                    f"{obj.get('step', '')},{obj.get('qty', 0)}")
+        return lot_id
+
+    # ------------------------------------------------------------------
+    # terminal -> bus (screen scraping)
+    # ------------------------------------------------------------------
+    def scrape_lot(self) -> Optional[Dict[str, str]]:
+        """Parse the LOT DETAIL screen currently displayed, if any."""
+        fields: Dict[str, str] = {}
+        for line in self.terminal.screen():
+            match = _FIELD_RE.match(line.rstrip())
+            if match:
+                fields[match.group(1)] = match.group(2).strip()
+        if {"LOT ID", "PRODUCT", "STEP", "QTY", "STATUS"} <= set(fields):
+            return fields
+        return None
+
+    def scrape_error(self) -> Optional[str]:
+        for line in self.terminal.screen():
+            if "*** ERROR" in line:
+                start = line.index("*** ERROR")
+                return line[start:].strip(" *")
+        return None
+
+    def _scrape_and_publish(self, lot_id: str) -> None:
+        fields = self.scrape_lot()
+        if fields is not None:
+            lot = DataObject(self.client.registry, WIP_LOT_TYPE, {
+                "lot_id": fields["LOT ID"],
+                "product": fields["PRODUCT"],
+                "step": fields["STEP"],
+                "qty": int(fields["QTY"]),
+                "status": fields["STATUS"],
+            })
+            self.inbound += 1
+            self.client.publish(status_subject(fields["LOT ID"]), lot)
+            self.terminal.send("")   # return to the menu
+            return
+        error = self.scrape_error()
+        self._publish_error(lot_id or "unknown",
+                            error or "unrecognized screen")
+        self.terminal.send("")
+
+    _ROW_RE = re.compile(
+        r"^\* ([A-Z0-9\-]+)\s+([A-Z0-9\-]+)\s+([A-Z0-9\-]+)\s+"
+        r"(\d+)\s+(QUEUED|PROC|HOLD|DONE)\s*\*?$")
+
+    def scrape_lot_list(self) -> List[Dict[str, str]]:
+        """Parse the LOT LIST REPORT screen into one dict per row."""
+        rows: List[Dict[str, str]] = []
+        for line in self.terminal.screen():
+            match = self._ROW_RE.match(line.rstrip())
+            if match:
+                rows.append({"LOT ID": match.group(1),
+                             "PRODUCT": match.group(2),
+                             "STEP": match.group(3),
+                             "QTY": match.group(4),
+                             "STATUS": match.group(5)})
+        return rows
+
+    def _scrape_and_publish_list(self) -> None:
+        """Publish every lot on the report as a wip_lot object."""
+        rows = self.scrape_lot_list()
+        for fields in rows:
+            lot = DataObject(self.client.registry, WIP_LOT_TYPE, {
+                "lot_id": fields["LOT ID"],
+                "product": fields["PRODUCT"],
+                "step": fields["STEP"],
+                "qty": int(fields["QTY"]),
+                "status": fields["STATUS"],
+            })
+            self.inbound += 1
+            self.client.publish(status_subject(fields["LOT ID"]), lot)
+        self.client.publish("fab5.wip.report",
+                            {"lots": len(rows)})
+        self.terminal.send("")
+
+    def _publish_error(self, lot_id: str, message: str) -> None:
+        self.record_error(message)
+        self.client.publish(status_subject(lot_id),
+                            {"error": message, "lot_id": lot_id})

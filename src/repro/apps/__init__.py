@@ -1,0 +1,25 @@
+"""Applications built on the Information Bus (Section 5)."""
+
+from .news_monitor import DEFAULT_HEADLINE_VIEW, NewsMonitor
+from .bus_browser import BusBrowser, ServiceEntry, SubjectStats
+from .news_monitor_form import NewsMonitorForm
+from .last_value_cache import (LVC_SERVICE_TYPE, LastValueCache,
+                               snapshot_then_subscribe)
+from .keyword_generator import (DEFAULT_CATEGORIES, KEYWORD_SERVICE_TYPE,
+                                KeywordGenerator)
+from .app_builder import ApplicationBuilder, Form, View
+from .factory import (ALARM_TYPE, CellController, EQUIPMENT_CONFIG_TYPE,
+                      Equipment, FactoryConfigSystem, SENSOR_READING_TYPE,
+                      register_config_types, register_factory_types,
+                      sensor_subject)
+
+__all__ = [
+    "ALARM_TYPE", "ApplicationBuilder", "BusBrowser", "CellController",
+    "DEFAULT_CATEGORIES", "DEFAULT_HEADLINE_VIEW", "EQUIPMENT_CONFIG_TYPE",
+    "Equipment", "FactoryConfigSystem", "Form", "KEYWORD_SERVICE_TYPE",
+    "KeywordGenerator", "LVC_SERVICE_TYPE", "LastValueCache",
+    "NewsMonitor", "NewsMonitorForm", "snapshot_then_subscribe",
+    "SENSOR_READING_TYPE", "View",
+    "ServiceEntry", "SubjectStats", "register_config_types",
+    "register_factory_types", "sensor_subject",
+]

@@ -1,0 +1,9 @@
+"""The interpreter-driven application builder (Section 5.1)."""
+
+from .widgets import (Button, Form, Label, ListView, TextField, Widget,
+                      WidgetError)
+from .views import View, ViewColumn
+from .builder import ApplicationBuilder
+
+__all__ = ["ApplicationBuilder", "Button", "Form", "Label", "ListView",
+           "TextField", "View", "ViewColumn", "Widget", "WidgetError"]

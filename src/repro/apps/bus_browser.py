@@ -1,0 +1,175 @@
+"""The bus browser: a directory and traffic monitor for one bus.
+
+Section 5.1: "It is possible to examine the list of available services
+on the Information Bus by using various name services.  Services are
+self-describing, so users can inspect the interface description for
+each service."
+
+The :class:`BusBrowser` is such a tool:
+
+* a **service directory** built from the ``_svc.advert`` announcements
+  every :class:`~repro.core.rmi.RmiServer` publishes (up / periodic
+  presence / down) — services whose presence lapses are marked stale;
+* a **traffic monitor** counting messages and bytes per subject prefix
+  for everything its wildcard subscriptions can see;
+* :meth:`inspect` fetches a live service's full interface description
+  through the ordinary discovery protocol, so a user can go from "what
+  exists?" to "what operations does it have?" to driving it via the
+  application builder, all from metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core import BusClient, Inquiry, MessageInfo
+from ..core.rmi import SERVICE_ADVERT_SUBJECT
+
+__all__ = ["BusBrowser", "ServiceEntry", "SubjectStats"]
+
+#: A service is stale after missing this many presence periods.
+_STALE_AFTER = 3.0
+
+
+@dataclass
+class ServiceEntry:
+    """One advertised service implementation."""
+
+    service_subject: str
+    server: str                 # client id of the serving application
+    interface_name: str
+    operations: List[str]
+    first_seen: float
+    last_seen: float
+    down: bool = False
+
+    def alive(self, now: float) -> bool:
+        return not self.down and now - self.last_seen < _STALE_AFTER
+
+
+@dataclass
+class SubjectStats:
+    """Traffic accounting for one concrete subject."""
+
+    subject: str
+    messages: int = 0
+    bytes: int = 0
+    senders: set = field(default_factory=set)
+    first_seen: float = 0.0
+    last_seen: float = 0.0
+
+    def rate(self, now: float) -> float:
+        window = max(now - self.first_seen, 1e-9)
+        return self.messages / window
+
+
+class BusBrowser:
+    """A monitoring application: service directory + per-subject traffic."""
+
+    def __init__(self, client: BusClient,
+                 watch_patterns: Optional[List[str]] = None):
+        self.client = client
+        self.services: Dict[tuple, ServiceEntry] = {}
+        self.subjects: Dict[str, SubjectStats] = {}
+        self._subscriptions = [client.subscribe(SERVICE_ADVERT_SUBJECT,
+                                                self._on_advert)]
+        for pattern in (watch_patterns or [">"]):
+            self._subscriptions.append(
+                client.subscribe(pattern, self._on_traffic))
+
+    # ------------------------------------------------------------------
+    # service directory
+    # ------------------------------------------------------------------
+    def _on_advert(self, subject: str, payload: Any,
+                   info: MessageInfo) -> None:
+        if not isinstance(payload, dict) or "service" not in payload:
+            return
+        key = (payload["service"], payload.get("server"))
+        now = self.client.sim.now
+        entry = self.services.get(key)
+        if entry is None:
+            entry = ServiceEntry(
+                service_subject=payload["service"],
+                server=payload.get("server", "?"),
+                interface_name=payload.get("interface_name", "?"),
+                operations=list(payload.get("operations", [])),
+                first_seen=now, last_seen=now)
+            self.services[key] = entry
+        entry.last_seen = now
+        entry.operations = list(payload.get("operations",
+                                            entry.operations))
+        if payload.get("action") == "down":
+            entry.down = True
+        elif entry.down:
+            entry.down = False   # the service came back
+
+    def live_services(self) -> List[ServiceEntry]:
+        """Currently alive services, one row per (subject, server)."""
+        now = self.client.sim.now
+        return sorted((e for e in self.services.values() if e.alive(now)),
+                      key=lambda e: (e.service_subject, e.server))
+
+    def service_subjects(self) -> List[str]:
+        """Distinct subjects with at least one live server."""
+        return sorted({e.service_subject for e in self.live_services()})
+
+    def inspect(self, service_subject: str,
+                on_result: Callable[[List[dict]], None],
+                window: float = 0.3) -> None:
+        """Fetch the live interface descriptions for a service subject.
+
+        Uses the ordinary discovery protocol; ``on_result`` receives the
+        interface description dicts of every responding server.
+        """
+        Inquiry(self.client, service_subject,
+                lambda responses: on_result(
+                    [r.info.get("interface") for r in responses
+                     if r.info.get("interface")]),
+                window=window)
+
+    # ------------------------------------------------------------------
+    # traffic monitoring
+    # ------------------------------------------------------------------
+    def _on_traffic(self, subject: str, payload: Any,
+                    info: MessageInfo) -> None:
+        stats = self.subjects.get(subject)
+        now = self.client.sim.now
+        if stats is None:
+            stats = SubjectStats(subject=subject, first_seen=now)
+            self.subjects[subject] = stats
+        stats.messages += 1
+        stats.bytes += info.size
+        stats.senders.add(info.sender)
+        stats.last_seen = now
+
+    def top_subjects(self, n: int = 10) -> List[SubjectStats]:
+        return sorted(self.subjects.values(), key=lambda s: -s.messages)[:n]
+
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.subjects.values())
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """A human-readable snapshot (what an operator console shows)."""
+        now = self.client.sim.now
+        lines = ["== services =="]
+        for entry in self.live_services():
+            lines.append(f"  {entry.service_subject:<28} {entry.server:<22}"
+                         f" ops={','.join(entry.operations)}")
+        if len(lines) == 1:
+            lines.append("  (none)")
+        lines.append("== busiest subjects ==")
+        for stats in self.top_subjects(8):
+            lines.append(f"  {stats.subject:<32} {stats.messages:>7} msgs"
+                         f" {stats.bytes:>10} B"
+                         f" {stats.rate(now):>8.1f}/s"
+                         f" senders={len(stats.senders)}")
+        if len(self.subjects) == 0:
+            lines.append("  (no traffic)")
+        return "\n".join(lines)
+
+    def stop(self) -> None:
+        for subscription in self._subscriptions:
+            self.client.unsubscribe(subscription)
+        self._subscriptions = []

@@ -1,0 +1,14 @@
+"""Factory-floor applications: equipment, cell controller, config system."""
+
+from .equipment import (ALARM_TYPE, CellController, Equipment,
+                        SENSOR_READING_TYPE, register_factory_types,
+                        sensor_subject)
+from .config_system import (EQUIPMENT_CONFIG_TYPE,
+                            FACTORY_CONFIG_SERVICE_TYPE,
+                            FactoryConfigSystem, register_config_types)
+
+__all__ = ["ALARM_TYPE", "CellController", "EQUIPMENT_CONFIG_TYPE",
+           "Equipment", "FACTORY_CONFIG_SERVICE_TYPE",
+           "FactoryConfigSystem", "SENSOR_READING_TYPE",
+           "register_config_types", "register_factory_types",
+           "sensor_subject"]

@@ -1,0 +1,14 @@
+"""Benchmark support: the Appendix experiment harness, payload sizing,
+statistics, and report formatting."""
+
+from .figures import ascii_chart
+from .harness import AppendixExperiment, LatencyResult, ThroughputResult
+from .payloads import MIN_PAYLOAD_SIZE, payload_of_size
+from .report import Report, format_table
+from .stats import Summary, mean, summarize, variance
+
+__all__ = [
+    "AppendixExperiment", "LatencyResult", "MIN_PAYLOAD_SIZE", "Report",
+    "Summary", "ThroughputResult", "format_table", "mean",
+    "ascii_chart", "payload_of_size", "summarize", "variance",
+]

@@ -1,0 +1,104 @@
+"""ASCII figure rendering.
+
+The paper's Appendix presents its results as plots; with no plotting
+stack available offline, these helpers render the regenerated series as
+terminal-friendly ASCII charts, embedded in each bench's report file so
+the *shape* — the thing this reproduction targets — is visible at a
+glance, not just tabulated.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 10000:
+        return f"{value:,.0f}"
+    if magnitude >= 100:
+        return f"{value:.0f}"
+    if magnitude >= 1:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def ascii_chart(points: Sequence[Tuple[float, float]],
+                title: str = "", x_label: str = "", y_label: str = "",
+                width: int = 60, height: int = 16,
+                log_x: bool = False,
+                errors: Optional[Sequence[float]] = None) -> str:
+    """Render an x/y series as an ASCII scatter-with-error-bars chart.
+
+    ``errors``, if given, draws a vertical bar of ``|`` around each point
+    (the Appendix's dashed 99%-confidence lines).  ``log_x`` spaces the
+    x axis logarithmically — the natural axis for message-size sweeps.
+    """
+    if not points:
+        return "(no data)"
+    xs = [float(x) for x, _ in points]
+    ys = [float(y) for _, y in points]
+    error_list = list(errors) if errors is not None else [0.0] * len(points)
+
+    def x_pos(x: float) -> float:
+        if log_x:
+            if min(xs) <= 0:
+                raise ValueError("log_x needs positive x values")
+            lo, hi = math.log10(min(xs)), math.log10(max(xs))
+            value = math.log10(x)
+        else:
+            lo, hi = min(xs), max(xs)
+            value = x
+        if hi == lo:
+            return 0.0
+        return (value - lo) / (hi - lo)
+
+    y_lo = min(y - e for y, e in zip(ys, error_list))
+    y_hi = max(y + e for y, e in zip(ys, error_list))
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.05 * (y_hi - y_lo)
+    y_lo -= pad
+    y_hi += pad
+
+    def y_pos(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), err in zip(points, error_list):
+        column = min(width - 1, int(round(x_pos(x) * (width - 1))))
+        if err > 0:
+            for row in range(y_pos(y - err), y_pos(y + err) + 1):
+                if grid[height - 1 - row][column] == " ":
+                    grid[height - 1 - row][column] = "|"
+        grid[height - 1 - y_pos(y)][column] = "*"
+
+    gutter = max(len(_format_tick(v)) for v in (y_lo, y_hi)) + 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            tick = _format_tick(y_hi)
+        elif row_index == height - 1:
+            tick = _format_tick(y_lo)
+        else:
+            tick = ""
+        lines.append(tick.rjust(gutter) + " |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    left = _format_tick(min(xs))
+    right = _format_tick(max(xs))
+    middle = x_label + (" (log scale)" if log_x else "")
+    spacing = max(1, width - len(left) - len(right) - len(middle))
+    lines.append(" " * (gutter + 2) + left
+                 + " " * (spacing // 2) + middle
+                 + " " * (spacing - spacing // 2) + right)
+    return "\n".join(lines)

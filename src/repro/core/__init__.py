@@ -1,0 +1,37 @@
+"""The Information Bus core: subject-based pub/sub, QoS, discovery, RMI,
+and WAN routers."""
+
+from .subjects import (BadSubjectError, SubjectTrie, is_admin_subject,
+                       is_valid_pattern, is_valid_subject, split_subject,
+                       subject_matches, validate_pattern, validate_subject)
+from .message import (Envelope, MessageInfo, Packet, PacketKind, QoS,
+                      ENVELOPE_HEADER, PACKET_HEADER)
+from .reliable import (ReliableConfig, ReliableReceiver, ReliableSender,
+                       SessionStats)
+from .batching import BatchConfig, Batcher
+from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
+from .daemon import (ADVERT_SUBJECT, DAEMON_PORT, BusConfig, BusDaemon,
+                     BusDownError)
+from .client import BusClient, Subscription
+from .bus import InformationBus
+from .discovery import DiscoveredService, Inquiry, Responder, inquiry_subject
+from .rmi import (ExactlyOnceRmiClient, RmiClient, RmiError, RmiServer,
+                  ServerGroup)
+from .namespace import FAB_SENSOR_SCHEME, NEWS_SCHEME, SubjectScheme
+from .router import Router, RouterLeg, WanLink
+
+__all__ = [
+    "ADVERT_SUBJECT", "BadSubjectError", "BatchConfig", "Batcher",
+    "BusClient", "BusConfig", "BusDaemon", "BusDownError", "DAEMON_PORT",
+    "DiscoveredService", "ENVELOPE_HEADER", "Envelope",
+    "GuaranteedConsumer", "GuaranteedPublisher", "InformationBus",
+    "Inquiry", "LedgerEntry", "MessageInfo", "PACKET_HEADER", "Packet",
+    "ExactlyOnceRmiClient", "FAB_SENSOR_SCHEME", "NEWS_SCHEME",
+    "PacketKind", "QoS", "ReliableConfig", "SubjectScheme",
+    "ReliableReceiver",
+    "ReliableSender", "Responder", "RmiClient", "RmiError", "RmiServer",
+    "Router", "RouterLeg", "ServerGroup", "SessionStats", "SubjectTrie",
+    "Subscription", "WanLink", "inquiry_subject", "is_admin_subject",
+    "is_valid_pattern", "is_valid_subject", "split_subject",
+    "subject_matches", "validate_pattern", "validate_subject",
+]

@@ -1,0 +1,93 @@
+"""Outbound message batching.
+
+The Appendix: "The Information Bus has a batch parameter that increases
+throughput by delaying small messages, and gathering them together."
+Figures 6-8 were measured with batching ON; Figure 5 (latency) with it
+OFF, "to avoid intentionally delaying the publications".
+
+The :class:`Batcher` gathers envelopes until either the accumulated
+payload reaches ``batch_bytes`` or ``batch_delay`` elapses since the
+first queued envelope, then hands the batch to its flush callback (which
+packs them into one datagram).  A disabled batcher passes every envelope
+through immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sim.kernel import Event, Simulator
+from .message import Envelope
+
+__all__ = ["Batcher", "BatchConfig"]
+
+
+@dataclass
+class BatchConfig:
+    """Batching tunables.  ``enabled=False`` is a pure pass-through."""
+
+    enabled: bool = False
+    #: Flush once the queued payload bytes reach this threshold (chosen to
+    #: fill one MTU-sized datagram).
+    batch_bytes: int = 1400
+    #: Flush this long after the first envelope was queued, even if small.
+    batch_delay: float = 0.002
+    #: Never hold more than this many envelopes regardless of size.
+    max_messages: int = 64
+
+
+class Batcher:
+    """Gathers envelopes into batches for one daemon's outbound path."""
+
+    def __init__(self, sim: Simulator, config: BatchConfig,
+                 flush: Callable[[List[Envelope]], None]):
+        self.sim = sim
+        self.config = config
+        self._flush_cb = flush
+        self._queue: List[Envelope] = []
+        self._queued_bytes = 0
+        self._timer: Optional[Event] = None
+        self.batches_flushed = 0
+        self.messages_batched = 0
+
+    def add(self, envelope: Envelope) -> None:
+        """Queue ``envelope``; may flush synchronously on threshold."""
+        if not self.config.enabled:
+            self._flush_cb([envelope])
+            self.batches_flushed += 1
+            self.messages_batched += 1
+            return
+        self._queue.append(envelope)
+        self._queued_bytes += envelope.size
+        if (self._queued_bytes >= self.config.batch_bytes
+                or len(self._queue) >= self.config.max_messages):
+            self.flush()
+        elif self._timer is None:
+            self._timer = self.sim.schedule(self.config.batch_delay,
+                                            self.flush, name="batch.delay")
+
+    def flush(self) -> None:
+        """Emit everything queued.  Safe to call when empty."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        self._queued_bytes = 0
+        self.batches_flushed += 1
+        self.messages_batched += len(batch)
+        self._flush_cb(batch)
+
+    def shutdown(self) -> None:
+        """Drop queued envelopes and cancel the timer (host crash)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._queue.clear()
+        self._queued_bytes = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

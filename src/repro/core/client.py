@@ -1,0 +1,185 @@
+"""The application-facing bus API.
+
+A :class:`BusClient` is one application registered with its host's
+daemon.  It owns a :class:`~repro.objects.registry.TypeRegistry` — *its
+own* view of the type universe, which grows as messages carrying inline
+type metadata arrive (P2/P3 in action) — and exposes the two calls the
+paper's model revolves around: :meth:`publish` and :meth:`subscribe`.
+
+Consumers "need not know who produces the objects, and producers need
+not know who consumes" (P4): nothing in this API names a peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import itertools
+
+from ..objects import TypeRegistry, decode, encode, standard_registry
+from .daemon import BusDaemon
+from .message import Envelope, MessageInfo, QoS
+from .subjects import SubjectTrie, validate_pattern
+
+__all__ = ["BusClient", "Subscription"]
+
+#: Callback signature: (subject, decoded object, delivery metadata).
+MessageHandler = Callable[[str, Any, MessageInfo], None]
+
+_subscription_seq = itertools.count(1)
+
+
+@dataclass(eq=False)
+class Subscription:
+    """A live subscription; pass back to :meth:`BusClient.unsubscribe`.
+
+    Identity semantics (``eq=False``): two subscriptions with the same
+    pattern are distinct registrations, and each keeps its callback.
+    """
+
+    pattern: str
+    callback: MessageHandler
+    durable: bool = False
+    active: bool = True
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        self.seq = next(_subscription_seq)
+
+
+class BusClient:
+    """One application's handle on the Information Bus."""
+
+    def __init__(self, daemon: BusDaemon, name: str,
+                 registry: Optional[TypeRegistry] = None):
+        self.daemon = daemon
+        self.name = name
+        self.registry = registry if registry is not None else standard_registry()
+        self.id = f"{daemon.host.address}.{name}"
+        self._subscriptions: List[Subscription] = []
+        # client-side dispatch trie: pattern -> Subscription objects.
+        # Matching a delivery costs O(subject depth), not O(#subs) —
+        # essential when an app subscribes to thousands of subjects
+        # (the Figure 8 workload).
+        self._dispatch: SubjectTrie = SubjectTrie()
+        # refcount of daemon-level registrations per (pattern, durable)
+        self._registered: Dict[tuple, int] = {}
+        self.messages_published = 0
+        self.messages_received = 0
+        self.decode_errors = 0
+        self.last_error: Optional[Exception] = None
+        daemon.attach_client(self)
+
+    @property
+    def sim(self):
+        return self.daemon.sim
+
+    @property
+    def host(self):
+        return self.daemon.host
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, subject: str, obj: Any, qos: QoS = QoS.RELIABLE,
+                inline_types: Optional[bool] = None,
+                via: tuple = ()) -> int:
+        """Marshal ``obj`` and publish it under ``subject``.
+
+        Returns the payload size in bytes.  ``inline_types`` defaults to
+        the bus config (normally True, so receivers can learn new types).
+        ``via`` is for information routers re-publishing forwarded
+        traffic; ordinary applications leave it empty.
+        """
+        if inline_types is None:
+            inline_types = self.daemon.config.inline_types
+        payload = encode(obj, self.registry, inline_types=inline_types)
+        self.daemon.publish(self.id, subject, payload, qos, via=via)
+        self.messages_published += 1
+        return len(payload)
+
+    def publish_bytes(self, subject: str, payload: bytes,
+                      qos: QoS = QoS.RELIABLE) -> None:
+        """Publish a pre-marshalled payload (benchmark hot path)."""
+        self.daemon.publish(self.id, subject, payload, qos)
+        self.messages_published += 1
+
+    # ------------------------------------------------------------------
+    # subscribing
+    # ------------------------------------------------------------------
+    def subscribe(self, pattern: str, callback: MessageHandler,
+                  durable: bool = False) -> Subscription:
+        """Receive every message whose subject matches ``pattern``.
+
+        ``durable=True`` marks this a guaranteed-delivery consumer: the
+        daemon acknowledges matching guaranteed messages after logging
+        them, and dedupes redeliveries across crashes.
+        """
+        validate_pattern(pattern)
+        subscription = Subscription(pattern, callback, durable)
+        self._subscriptions.append(subscription)
+        self._dispatch.insert(pattern, subscription)
+        key = (pattern, durable)
+        if self._registered.get(key, 0) == 0:
+            self.daemon.add_subscription(pattern, self, durable)
+        self._registered[key] = self._registered.get(key, 0) + 1
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        if not subscription.active:
+            return
+        subscription.active = False
+        self._subscriptions.remove(subscription)
+        self._dispatch.remove(subscription.pattern, subscription)
+        key = (subscription.pattern, subscription.durable)
+        remaining = self._registered.get(key, 0) - 1
+        if remaining <= 0:
+            self._registered.pop(key, None)
+            self.daemon.remove_subscription(subscription.pattern, self,
+                                            subscription.durable)
+        else:
+            self._registered[key] = remaining
+
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions)
+
+    def close(self) -> None:
+        """Unsubscribe everything and detach from the daemon."""
+        for subscription in list(self._subscriptions):
+            self.unsubscribe(subscription)
+        self.daemon.detach_client(self)
+
+    # ------------------------------------------------------------------
+    # delivery (called by the daemon)
+    # ------------------------------------------------------------------
+    def _deliver(self, envelope: Envelope, retransmitted: bool) -> None:
+        try:
+            obj = decode(envelope.payload, self.registry)
+        except Exception as error:   # unknown type, corrupt payload
+            self.decode_errors += 1
+            self.last_error = error
+            return
+        info = MessageInfo(
+            subject=envelope.subject, sender=envelope.sender,
+            session=envelope.session, seq=envelope.seq, qos=envelope.qos,
+            publish_time=envelope.publish_time, deliver_time=self.sim.now,
+            size=len(envelope.payload), retransmitted=retransmitted,
+            via=envelope.via)
+        matching = sorted(self._dispatch.match(envelope.subject),
+                          key=lambda s: s.seq)
+        delivered = False
+        for subscription in matching:
+            if subscription.active:
+                delivered = True
+                subscription.callback(envelope.subject, obj, info)
+        if delivered:
+            self.messages_received += 1
+
+    def _reattach(self) -> None:
+        """Re-register all subscriptions after the host recovered."""
+        for (pattern, durable) in self._registered:
+            self.daemon.add_subscription(pattern, self, durable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BusClient {self.id} subs={len(self._subscriptions)}>"

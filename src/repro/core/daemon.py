@@ -1,0 +1,390 @@
+"""The per-host Information Bus daemon.
+
+Section 3.1: "In our implementation of subject-based addressing, we use a
+daemon on every host.  Each application registers with its local daemon,
+and tells the daemon to which subjects it has subscribed.  The daemon
+forwards each message to each application that has subscribed.  It uses
+the subject contained in the message to decide which application receives
+which message."
+
+One :class:`BusDaemon` per :class:`~repro.sim.node.Host`:
+
+* outbound — stamps envelopes with the reliable protocol, optionally
+  batches them, and broadcasts them as UDP datagrams on the daemon port;
+* inbound — every daemon hears every broadcast (it is an Ethernet), runs
+  the reliable receive protocol, matches the subject against its local
+  subscription trie, and forwards to subscribed local applications;
+* guaranteed delivery — stable ledger + acks (see
+  :mod:`repro.core.guaranteed`);
+* fail-stop lifecycle — a crash destroys all volatile daemon state; on
+  recovery the daemon restarts with a fresh session and (by default)
+  re-attaches its applications' subscriptions, modeling apps restarted
+  by init.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from ..sim.kernel import PeriodicTimer, Simulator
+from ..sim.node import Host
+from ..sim.trace import Tracer
+from ..objects import encode
+from ..sim.transport import DatagramSocket, Endpoint
+from .batching import BatchConfig, Batcher
+from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
+from .message import Envelope, Packet, PacketKind, QoS
+from .reliable import ReliableConfig, ReliableReceiver, ReliableSender
+from .subjects import SubjectTrie, validate_subject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .client import BusClient
+
+__all__ = ["ADVERT_SUBJECT", "BusConfig", "BusDaemon", "BusDownError",
+           "DAEMON_PORT"]
+
+#: The well-known UDP port every daemon binds.
+DAEMON_PORT = 7
+
+#: Reserved subject on which daemons advertise their subscription tables
+#: (consumed by information routers; see repro.core.router).
+ADVERT_SUBJECT = "_sub.advert"
+
+
+class BusDownError(RuntimeError):
+    """An operation was attempted while the local daemon's host is down."""
+
+
+@dataclass
+class BusConfig:
+    """All bus tunables in one place."""
+
+    reliable: ReliableConfig = field(default_factory=ReliableConfig)
+    batch: BatchConfig = field(default_factory=BatchConfig)
+    #: Guaranteed-delivery republish period.
+    retransmit_interval: float = 0.5
+    #: Distinct consumers that must ack a guaranteed message.
+    ack_quorum: int = 1
+    #: Re-attach client subscriptions when the host recovers.
+    auto_restart_clients: bool = True
+    #: Marshal type metadata into every published message by default.
+    inline_types: bool = True
+    #: Broadcast subscription-table changes on ADVERT_SUBJECT so routers
+    #: can forward across WANs only what somebody actually wants.
+    advertise_subscriptions: bool = True
+    #: Period of the full subscription-snapshot re-advertisement.
+    advert_interval: float = 2.0
+
+
+class BusDaemon:
+    """The bus agent on one host."""
+
+    def __init__(self, sim: Simulator, host: Host,
+                 config: Optional[BusConfig] = None,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.host = host
+        self.config = config or BusConfig()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.clients: Dict[str, "BusClient"] = {}
+        # counters (survive restarts; they describe the daemon object)
+        self.published = 0
+        self.delivered = 0
+        self.acks_sent = 0
+        self._started = False
+        host.on_crash(self._on_crash)
+        host.on_recover(self._on_recover)
+        self._start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self.session = f"{self.host.address}#{self.host.epoch}"
+        self.session_started = self.sim.now
+        self._socket = DatagramSocket(self.sim, self.host, DAEMON_PORT,
+                                      self._on_datagram)
+        self._sender = ReliableSender(self.session, self.config.reliable,
+                                      now=lambda: self.sim.now)
+        self._receiver = ReliableReceiver(self.sim, self.config.reliable,
+                                          self._deliver_remote,
+                                          self._send_nack)
+        self._batcher = Batcher(self.sim, self.config.batch, self._send_batch)
+        self._subscriptions: SubjectTrie = SubjectTrie()
+        self._durable: SubjectTrie = SubjectTrie()
+        self._heartbeat = PeriodicTimer(
+            self.sim, self.config.reliable.heartbeat_interval,
+            self._send_heartbeat, name="daemon.heartbeat")
+        self._gpub = GuaranteedPublisher(
+            self.sim, self.host, self.config.ack_quorum,
+            self.config.retransmit_interval, self._republish_guaranteed)
+        self._gcon = GuaranteedConsumer(self.host)
+        #: volatile dedupe of guaranteed deliveries to non-durable clients
+        self._seen_ledgers: Set[str] = set()
+        #: refcounts of advertisable (non-reserved) patterns on this host
+        self._public_patterns: Dict[str, int] = {}
+        self._advert_timer: Optional[PeriodicTimer] = None
+        if self.config.advertise_subscriptions:
+            self._advert_timer = PeriodicTimer(
+                self.sim, self.config.advert_interval,
+                self._advertise_snapshot, name="daemon.advert")
+        self._started = True
+
+    def _on_crash(self) -> None:
+        self._started = False
+        if self._advert_timer is not None:
+            self._advert_timer.stop()
+        self._heartbeat.stop()
+        self._batcher.shutdown()
+        self._receiver.shutdown()
+        self._gpub.shutdown()
+
+    def _on_recover(self) -> None:
+        self._start()
+        self._gcon.recover()
+        if self.config.auto_restart_clients:
+            for client in list(self.clients.values()):
+                client._reattach()
+
+    @property
+    def up(self) -> bool:
+        return self._started and self.host.up
+
+    def _require_up(self) -> None:
+        if not self.up:
+            raise BusDownError(f"daemon on {self.host.address} is down")
+
+    # ------------------------------------------------------------------
+    # client registration (the "applications register" part)
+    # ------------------------------------------------------------------
+    def attach_client(self, client: "BusClient") -> None:
+        if client.name in self.clients:
+            raise ValueError(
+                f"host {self.host.address}: an application named "
+                f"{client.name!r} is already registered")
+        self.clients[client.name] = client
+
+    def detach_client(self, client: "BusClient") -> None:
+        self.clients.pop(client.name, None)
+
+    def add_subscription(self, pattern: str, client: "BusClient",
+                         durable: bool) -> None:
+        self._require_up()
+        self._subscriptions.insert(pattern, client)
+        if durable:
+            self._durable.insert(pattern, client)
+        if self._advertisable(pattern):
+            count = self._public_patterns.get(pattern, 0)
+            self._public_patterns[pattern] = count + 1
+            if count == 0:
+                self._advertise("add", [pattern])
+
+    def remove_subscription(self, pattern: str, client: "BusClient",
+                            durable: bool) -> None:
+        if not self._started:
+            return
+        self._subscriptions.remove(pattern, client)
+        if durable:
+            self._durable.remove(pattern, client)
+        if self._advertisable(pattern):
+            count = self._public_patterns.get(pattern, 0) - 1
+            if count <= 0:
+                self._public_patterns.pop(pattern, None)
+                self._advertise("remove", [pattern])
+            else:
+                self._public_patterns[pattern] = count
+
+    # ------------------------------------------------------------------
+    # subscription advertisement (router support)
+    # ------------------------------------------------------------------
+    def _advertisable(self, pattern: str) -> bool:
+        return (self.config.advertise_subscriptions
+                and not pattern.split(".", 1)[0].startswith("_"))
+
+    def _advertise(self, action: str, patterns: List[str]) -> None:
+        payload = encode({"action": action, "patterns": patterns,
+                          "host": self.host.address})
+        self.publish(f"{self.host.address}._daemon", ADVERT_SUBJECT, payload)
+
+    def _advertise_snapshot(self) -> None:
+        if not self.up or not self._public_patterns:
+            return
+        self._advertise("snapshot", sorted(self._public_patterns))
+
+    def subscription_count(self) -> int:
+        return len(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # publish path
+    # ------------------------------------------------------------------
+    def publish(self, client_id: str, subject: str, payload: bytes,
+                qos: QoS = QoS.RELIABLE,
+                via: tuple = ()) -> Envelope:
+        """Publish pre-marshalled ``payload`` under ``subject``.
+
+        ``via`` carries router path stamps on re-publications (see
+        :mod:`repro.core.router`); ordinary publishers leave it empty.
+        """
+        self._require_up()
+        validate_subject(subject)
+        envelope = Envelope(subject=subject, sender=client_id,
+                            session=self.session, seq=0, payload=payload,
+                            qos=qos, publish_time=self.sim.now,
+                            via=tuple(via))
+        if qos is QoS.GUARANTEED:
+            envelope.ledger_id = self._gpub.record(subject, client_id,
+                                                   payload)
+        self._sender.stamp(envelope)
+        self.published += 1
+        self.tracer.emit(self.sim.now, "publish", subject=subject,
+                         seq=envelope.seq, size=len(payload))
+        self._deliver_local(envelope)
+        self._batcher.add(envelope)
+        return envelope
+
+    def flush(self) -> None:
+        """Force out any batched messages."""
+        self._batcher.flush()
+
+    def _republish_guaranteed(self, entry: LedgerEntry) -> None:
+        if not self.up:
+            return
+        envelope = Envelope(subject=entry.subject, sender=entry.sender,
+                            session=self.session, seq=0,
+                            payload=entry.payload, qos=QoS.GUARANTEED,
+                            ledger_id=entry.ledger_id,
+                            publish_time=self.sim.now)
+        self._sender.stamp(envelope)
+        self._deliver_local(envelope)
+        self._batcher.add(envelope)
+
+    def _send_batch(self, envelopes: List[Envelope]) -> None:
+        if not self.up:
+            return
+        packet = Packet(PacketKind.DATA, self.session, envelopes,
+                        session_start=self.session_started)
+        self._socket.broadcast(packet, packet.size, DAEMON_PORT)
+
+    def _send_heartbeat(self) -> None:
+        if not self.up or self._sender.last_seq == 0:
+            return
+        packet = Packet(PacketKind.HEARTBEAT, self.session,
+                        last_seq=self._sender.last_seq,
+                        session_start=self.session_started)
+        self._socket.broadcast(packet, packet.size + 8, DAEMON_PORT)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+    def _on_datagram(self, packet: Packet, size: int, src: Endpoint) -> None:
+        if not isinstance(packet, Packet):
+            return
+        if packet.kind is PacketKind.DATA:
+            for envelope in packet.envelopes:
+                self._receiver.handle_envelope(
+                    envelope, session_start=packet.session_start)
+        elif packet.kind is PacketKind.RETRANS:
+            for envelope in packet.envelopes:
+                self._receiver.handle_envelope(
+                    envelope, retransmitted=True,
+                    session_start=packet.session_start)
+        elif packet.kind is PacketKind.HEARTBEAT:
+            self._receiver.handle_heartbeat(packet.session, packet.last_seq,
+                                            packet.session_start)
+        elif packet.kind is PacketKind.NACK:
+            self._serve_nack(packet, src)
+        elif packet.kind is PacketKind.ACK:
+            self._gpub.handle_ack(packet.ack_ledger_id, packet.ack_consumer)
+
+    def _serve_nack(self, packet: Packet, src: Endpoint) -> None:
+        if packet.session != self.session or packet.nack_range is None:
+            return
+        first, last = packet.nack_range
+        repairs = self._sender.repair(first, last)
+        if not repairs:
+            return
+        self.tracer.emit(self.sim.now, "retransmit", first=first, last=last,
+                         count=len(repairs))
+        reply = Packet(PacketKind.RETRANS, self.session, repairs,
+                       session_start=self.session_started)
+        self._socket.sendto(reply, reply.size, src[0], DAEMON_PORT)
+
+    def _send_nack(self, session: str, first: int, last: int) -> None:
+        if not self.up:
+            return
+        target_host = session.split("#", 1)[0]
+        packet = Packet(PacketKind.NACK, session, nack_range=(first, last))
+        self.tracer.emit(self.sim.now, "nack", session=session, first=first,
+                         last=last)
+        self._socket.sendto(packet, packet.size + 16, target_host,
+                            DAEMON_PORT)
+
+    # ------------------------------------------------------------------
+    # delivery to applications
+    # ------------------------------------------------------------------
+    def _deliver_local(self, envelope: Envelope) -> None:
+        """Same-host subscribers see their host's own publications."""
+        self._dispatch(envelope, retransmitted=False)
+
+    def _deliver_remote(self, envelope: Envelope, retransmitted: bool) -> None:
+        self._dispatch(envelope, retransmitted)
+
+    def _dispatch(self, envelope: Envelope, retransmitted: bool) -> None:
+        if not self.up:
+            return
+        clients = self._subscriptions.match(envelope.subject)
+        if envelope.ledger_id is not None:
+            self._dispatch_guaranteed(envelope, clients, retransmitted)
+            return
+        for client in clients:
+            self.delivered += 1
+            client._deliver(envelope, retransmitted)
+
+    def _dispatch_guaranteed(self, envelope: Envelope, clients: Set,
+                             retransmitted: bool) -> None:
+        """Guaranteed messages: dedupe by ledger id, ack on durable receipt."""
+        durable_clients = self._durable.match(envelope.subject)
+        if durable_clients:
+            if self._gcon.first_delivery(envelope.ledger_id):
+                for client in clients:
+                    self.delivered += 1
+                    client._deliver(envelope, retransmitted)
+            self._send_ack(envelope)   # (re-)ack even on duplicates
+            return
+        # no durable subscriber here: deliver once to regular subscribers
+        if envelope.ledger_id in self._seen_ledgers:
+            return
+        if clients:
+            self._seen_ledgers.add(envelope.ledger_id)
+        for client in clients:
+            self.delivered += 1
+            client._deliver(envelope, retransmitted)
+
+    def _send_ack(self, envelope: Envelope) -> None:
+        origin_host = envelope.ledger_id.split("/", 1)[0]
+        self.acks_sent += 1
+        packet = Packet(PacketKind.ACK, self.session,
+                        ack_ledger_id=envelope.ledger_id,
+                        ack_consumer=self.host.address)
+        if origin_host == self.host.address:
+            # local durable consumer: ack without touching the wire
+            self._gpub.handle_ack(envelope.ledger_id, self.host.address)
+            return
+        self._socket.sendto(packet, packet.size + 24, origin_host,
+                            DAEMON_PORT)
+
+    # ------------------------------------------------------------------
+    # introspection helpers (tests, benches, routers)
+    # ------------------------------------------------------------------
+    def reliable_stats(self, session: str):
+        return self._receiver.stats(session)
+
+    def guaranteed_pending(self) -> List[LedgerEntry]:
+        return self._gpub.pending()
+
+    def sender_retransmissions(self) -> int:
+        return self._sender.retransmissions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BusDaemon {self.session} clients={len(self.clients)}>"

@@ -1,0 +1,119 @@
+"""Message envelopes and quality-of-service levels.
+
+Two QoS levels, straight from Section 3.1:
+
+* :data:`QoS.RELIABLE` — exactly-once, FIFO per sender under normal
+  operation; at-most-once if the sender or receiver crashes or the
+  network partitions for longer than the repair window.
+* :data:`QoS.GUARANTEED` — the message is logged to non-volatile storage
+  before it is sent and retransmitted "at appropriate times until a reply
+  is received": at-least-once regardless of failures, exactly-once when
+  there are none.
+
+An :class:`Envelope` is what daemons exchange; the application payload is
+already-marshalled bytes (see :mod:`repro.objects.marshal`), so sizes on
+the simulated wire are honest.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["Envelope", "MessageInfo", "Packet", "PacketKind", "QoS",
+           "ENVELOPE_HEADER", "PACKET_HEADER"]
+
+#: Accounted per-envelope framing bytes (seq, session, qos, lengths).
+ENVELOPE_HEADER = 48
+#: Accounted per-datagram framing bytes.
+PACKET_HEADER = 16
+
+
+class QoS(enum.Enum):
+    """Delivery quality of service."""
+
+    RELIABLE = "reliable"
+    GUARANTEED = "guaranteed"
+
+
+class PacketKind(enum.Enum):
+    """Daemon-to-daemon packet types on the bus port."""
+
+    DATA = "data"             # a batch of envelopes (broadcast)
+    RETRANS = "retrans"       # NACK repair (unicast to the requester)
+    NACK = "nack"             # gap report (unicast to the sender)
+    HEARTBEAT = "heartbeat"   # idle sender's highest seq (broadcast)
+    ACK = "ack"               # guaranteed-delivery confirmation (unicast)
+
+
+_envelope_ids = itertools.count(1)
+
+
+@dataclass
+class Envelope:
+    """One published message as it travels between daemons."""
+
+    subject: str
+    sender: str               # client id, e.g. "node3.news_adapter"
+    session: str              # sender daemon's session, e.g. "node3#0"
+    seq: int                  # per-session sequence number
+    payload: bytes            # marshalled object
+    qos: QoS = QoS.RELIABLE
+    ledger_id: Optional[str] = None   # set for guaranteed messages
+    publish_time: float = 0.0         # simulated time of the publish call
+    #: names of information routers this message has traversed; routers
+    #: refuse to forward a message already stamped with their own name,
+    #: which keeps arbitrary router topologies (chains, meshes, cycles)
+    #: loop-free while allowing multi-hop forwarding.
+    via: Tuple[str, ...] = ()
+    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
+
+    @property
+    def size(self) -> int:
+        return ENVELOPE_HEADER + len(self.subject) + len(self.payload)
+
+
+@dataclass
+class Packet:
+    """One datagram on the daemon port."""
+
+    kind: PacketKind
+    session: str                       # originating daemon session
+    envelopes: List[Envelope] = field(default_factory=list)
+    #: NACK: the (first, last) missing seq range being requested.
+    nack_range: Optional[Tuple[int, int]] = None
+    #: HEARTBEAT: highest seq published in this session.
+    last_seq: int = 0
+    #: DATA/RETRANS/HEARTBEAT: simulated time this session began.  Lets
+    #: a receiver distinguish "I joined late" (baseline at what it
+    #: hears) from "the first messages were lost" (recover from seq 1).
+    session_start: float = 0.0
+    #: ACK: the guaranteed ledger id being confirmed, and who confirms.
+    ack_ledger_id: Optional[str] = None
+    ack_consumer: Optional[str] = None
+
+    @property
+    def size(self) -> int:
+        return PACKET_HEADER + sum(e.size for e in self.envelopes)
+
+
+@dataclass
+class MessageInfo:
+    """Delivery metadata handed to subscriber callbacks."""
+
+    subject: str
+    sender: str
+    session: str
+    seq: int
+    qos: QoS
+    publish_time: float      # simulated time the publish call was made
+    deliver_time: float      # simulated time the callback ran
+    size: int                # payload bytes on the wire
+    retransmitted: bool = False
+    via: Tuple[str, ...] = ()   # routers this message traversed
+
+    @property
+    def latency(self) -> float:
+        return self.deliver_time - self.publish_time

@@ -1,0 +1,368 @@
+"""The reliable-delivery layer: "UDP packets in combination with a
+retransmission protocol" (Section 3.1).
+
+Semantics implemented (quoting the paper):
+
+    "Under normal operation, if a sender and receiver do not crash and
+    the network does not suffer a long-term partition, then messages are
+    delivered exactly once in the order sent by the same sender; messages
+    from different senders are not ordered.  If the sender or receiver
+    crashes, or there is a network partition, then messages will be
+    delivered at most once."
+
+Mechanism: every daemon stamps outgoing envelopes with a per-*session*
+sequence number (a session is one incarnation of a daemon; it dies with a
+crash, so sequence state is never resurrected ambiguously).  Receivers
+deliver in sequence order per session, buffer out-of-order arrivals, and
+send unicast NACKs to repair gaps from the sender's bounded retention
+buffer.  Idle senders broadcast heartbeats so a lost *final* message is
+still detected.  A gap that cannot be repaired after ``nack_max``
+attempts (sender crashed, retention expired, long partition) is skipped —
+degrading to at-most-once exactly as specified.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.kernel import Event, Simulator
+from .message import Envelope
+
+__all__ = ["ReliableConfig", "ReliableSender", "ReliableReceiver",
+           "SessionStats"]
+
+
+@dataclass
+class ReliableConfig:
+    """Tunables for the retransmission protocol."""
+
+    #: Envelopes a sender retains for NACK repair (count bound).
+    retention: int = 4096
+    #: Optional age bound: envelopes older than this are unrepairable
+    #: even if the count bound would keep them (classic 60-second
+    #: reliability windows work this way).  None = count bound only.
+    retention_seconds: Optional[float] = None
+    #: Delay before a detected gap triggers the first NACK (lets simple
+    #: reordering resolve itself without traffic).
+    nack_delay: float = 0.005
+    #: NACK retries before the receiver gives up and skips the gap.
+    #: Generous because a saturated sender serializes the repair behind
+    #: its outbound data queue - impatience turns congestion into loss.
+    nack_max: int = 20
+    #: Backoff multiplier between NACK attempts.
+    nack_backoff: float = 2.0
+    #: Ceiling on the inter-NACK delay once backoff has grown.
+    nack_backoff_cap: float = 0.5
+    #: Idle-sender heartbeat period.
+    heartbeat_interval: float = 0.25
+    #: Out-of-order envelopes a receiver buffers per session.
+    receive_buffer: int = 1024
+
+
+class ReliableSender:
+    """Per-daemon send side: sequence stamping, retention, NACK service.
+
+    ``now`` is a clock callable used for the optional time-based
+    retention bound; pass ``sim.now`` via a lambda (or leave the default
+    for count-only retention).
+    """
+
+    def __init__(self, session: str, config: ReliableConfig,
+                 now: Callable[[], float] = lambda: 0.0):
+        self.session = session
+        self.config = config
+        self.now = now
+        self.next_seq = 1
+        # seq -> (envelope, stamp time)
+        self._retention: "OrderedDict[int, tuple]" = OrderedDict()
+        self.retransmissions = 0
+
+    @property
+    def last_seq(self) -> int:
+        return self.next_seq - 1
+
+    def stamp(self, envelope: Envelope) -> Envelope:
+        """Assign the next sequence number and retain for repair."""
+        envelope.session = self.session
+        envelope.seq = self.next_seq
+        self.next_seq += 1
+        self._retention[envelope.seq] = (envelope, self.now())
+        while len(self._retention) > self.config.retention:
+            self._retention.popitem(last=False)
+        self._expire()
+        return envelope
+
+    def _expire(self) -> None:
+        limit = self.config.retention_seconds
+        if limit is None:
+            return
+        horizon = self.now() - limit
+        while self._retention:
+            seq, (_, stamped) = next(iter(self._retention.items()))
+            if stamped >= horizon:
+                break
+            self._retention.popitem(last=False)
+
+    def retained(self) -> int:
+        """How many envelopes are currently repairable."""
+        self._expire()
+        return len(self._retention)
+
+    def repair(self, first: int, last: int) -> List[Envelope]:
+        """Envelopes for a NACKed range still present in retention."""
+        self._expire()
+        found = []
+        for seq in range(first, last + 1):
+            entry = self._retention.get(seq)
+            if entry is not None:
+                found.append(entry[0])
+        self.retransmissions += len(found)
+        return found
+
+
+@dataclass
+class SessionStats:
+    """Receiver-side accounting for one remote session (benches, tests)."""
+
+    delivered: int = 0
+    duplicates: int = 0
+    buffered: int = 0
+    nacks_sent: int = 0
+    gaps_skipped: int = 0
+    messages_lost: int = 0
+
+
+class _SessionState:
+    __slots__ = ("session", "expected", "buffer", "nack_event",
+                 "nack_attempts", "known_last", "sync_event", "stats")
+
+    def __init__(self, session: str) -> None:
+        self.session = session
+        self.expected: Optional[int] = None
+        self.buffer: Dict[int, Tuple[Envelope, bool]] = {}
+        self.nack_event: Optional[Event] = None
+        self.nack_attempts = 0
+        #: highest sequence number known to exist (data or heartbeat)
+        self.known_last = 0
+        #: pending end-of-sync-window event (first contact, seq > 1)
+        self.sync_event: Optional[Event] = None
+        self.stats = SessionStats()
+
+    def last_missing(self) -> int:
+        """End of the first contiguous missing run (minimal NACK range)."""
+        if self.buffer:
+            return min(self.buffer) - 1
+        return self.known_last
+
+    def has_gap(self) -> bool:
+        return (self.expected is not None
+                and self.expected <= self.last_missing())
+
+
+class ReliableReceiver:
+    """Per-daemon receive side: ordering, dedupe, gap repair, give-up.
+
+    ``deliver`` is called exactly once per delivered envelope, in per-
+    session sequence order.  ``send_nack(session, first, last)`` must
+    transmit a NACK packet toward the session's daemon.
+    """
+
+    def __init__(self, sim: Simulator, config: ReliableConfig,
+                 deliver: Callable[[Envelope, bool], None],
+                 send_nack: Callable[[str, int, int], None]):
+        self.sim = sim
+        self.config = config
+        self._deliver = deliver
+        self._send_nack = send_nack
+        self._sessions: Dict[str, _SessionState] = {}
+        #: when this receiver came up; sessions born after this are fully
+        #: recoverable from seq 1 (we must have been within earshot)
+        self.started_at = sim.now
+
+    # ------------------------------------------------------------------
+    # public API (driven by the daemon)
+    # ------------------------------------------------------------------
+    def handle_envelope(self, envelope: Envelope,
+                        retransmitted: bool = False,
+                        session_start: Optional[float] = None) -> None:
+        state = self._state(envelope.session)
+        seq = envelope.seq
+        state.known_last = max(state.known_last, seq)
+        if state.expected is None:
+            # First contact with this session.  Sessions always start at
+            # seq 1, so a higher first-heard seq means either the early
+            # messages were lost/reordered (recover them: the paper
+            # promises exactly-once under normal operation) or this
+            # receiver genuinely joined after the session began (history
+            # is not replayed: "a new subscriber ... receives new
+            # objects").  The session's start time disambiguates.
+            if seq == 1:
+                state.expected = 1
+            elif session_start is not None \
+                    and session_start >= self.started_at:
+                # the session is younger than us: everything from seq 1
+                # should have reached us — treat the hole as loss
+                state.expected = 1
+                state.buffer[seq] = (envelope, retransmitted)
+                state.stats.buffered += 1
+                self._arm_nack(envelope.session, state)
+                return
+            else:
+                # genuinely late join (or unknown): sync-window baseline
+                state.buffer[seq] = (envelope, retransmitted)
+                if state.sync_event is None:
+                    state.sync_event = self.sim.schedule(
+                        self.config.nack_delay, self._end_sync,
+                        envelope.session, name="reliable.sync")
+                return
+        if state.sync_event is not None:
+            # syncing ended implicitly: seq 1 showed up
+            state.sync_event.cancel()
+            state.sync_event = None
+            self._drain(state)
+        if seq < state.expected:
+            state.stats.duplicates += 1
+            return
+        if seq == state.expected:
+            self._deliver_in_order(state, envelope, retransmitted)
+            self._drain(state)
+            self._refresh_gap(state)
+            return
+        # gap: buffer and arrange repair
+        if seq in state.buffer:
+            state.stats.duplicates += 1
+            return
+        if len(state.buffer) >= self.config.receive_buffer:
+            # overwhelmed: drop the newest rather than grow unboundedly
+            state.stats.messages_lost += 1
+            return
+        state.buffer[seq] = (envelope, retransmitted)
+        state.stats.buffered += 1
+        self._arm_nack(envelope.session, state)
+
+    def handle_heartbeat(self, session: str, last_seq: int,
+                         session_start: Optional[float] = None) -> None:
+        state = self._state(session)
+        if state.expected is None:
+            state.known_last = max(state.known_last, last_seq)
+            if state.sync_event is not None:
+                return   # mid sync window: let the buffered data baseline
+            if session_start is not None \
+                    and session_start >= self.started_at:
+                # young session: its entire history is recoverable
+                state.expected = 1
+                if state.has_gap():
+                    self._arm_nack(session, state)
+                return
+            # late joiner: nothing published since we arrived is missing
+            state.expected = last_seq + 1
+            return
+        state.known_last = max(state.known_last, last_seq)
+        if state.has_gap():
+            self._arm_nack(session, state)
+
+    def stats(self, session: str) -> SessionStats:
+        return self._state(session).stats
+
+    def sessions(self) -> List[str]:
+        return list(self._sessions)
+
+    def shutdown(self) -> None:
+        """Cancel all pending timers (daemon stopping or host crashing)."""
+        for state in self._sessions.values():
+            for event in (state.nack_event, state.sync_event):
+                if event is not None:
+                    event.cancel()
+            state.nack_event = None
+            state.sync_event = None
+        self._sessions.clear()
+
+    def _end_sync(self, session: str) -> None:
+        state = self._sessions.get(session)
+        if state is None or state.expected is not None:
+            return
+        state.sync_event = None
+        if not state.buffer:
+            return
+        state.expected = min(state.buffer)
+        self._drain(state)
+        self._refresh_gap(state)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _state(self, session: str) -> _SessionState:
+        state = self._sessions.get(session)
+        if state is None:
+            state = _SessionState(session)
+            self._sessions[session] = state
+        return state
+
+    def _deliver_in_order(self, state: _SessionState, envelope: Envelope,
+                          retransmitted: bool) -> None:
+        state.expected = envelope.seq + 1
+        state.stats.delivered += 1
+        self._deliver(envelope, retransmitted)
+
+    def _drain(self, state: _SessionState) -> None:
+        while state.expected in state.buffer:
+            envelope, retransmitted = state.buffer.pop(state.expected)
+            self._deliver_in_order(state, envelope, retransmitted)
+
+    def _gap(self, state: _SessionState) -> Optional[Tuple[int, int]]:
+        if not state.buffer:
+            return None
+        return (state.expected, max(state.buffer) - 1) \
+            if max(state.buffer) > state.expected else None
+
+    def _refresh_gap(self, state: _SessionState) -> None:
+        """After progress, cancel or re-aim the outstanding NACK timer."""
+        if state.nack_event is not None:
+            state.nack_event.cancel()
+            state.nack_event = None
+        state.nack_attempts = 0
+        if state.has_gap():
+            # there is still a hole (below the buffer, or a lost tail)
+            self._arm_nack(state.session, state)
+
+    def _arm_nack(self, session: str, state: _SessionState) -> None:
+        if state.nack_event is not None:
+            return
+        delay = min(self.config.nack_delay
+                    * (self.config.nack_backoff ** state.nack_attempts),
+                    self.config.nack_backoff_cap)
+        state.nack_event = self.sim.schedule(
+            delay, self._fire_nack, session, name="reliable.nack")
+
+    def _fire_nack(self, session: str) -> None:
+        state = self._sessions.get(session)
+        if state is None:
+            return
+        state.nack_event = None
+        if not state.has_gap():
+            return
+        if state.nack_attempts >= self.config.nack_max:
+            self._give_up(state)
+            return
+        state.nack_attempts += 1
+        state.stats.nacks_sent += 1
+        self._send_nack(session, state.expected, state.last_missing())
+        self._arm_nack(session, state)
+
+    def _give_up(self, state: _SessionState) -> None:
+        """Unrepairable gap: skip it (at-most-once under failure)."""
+        state.stats.gaps_skipped += 1
+        if state.buffer:
+            lowest = min(state.buffer)
+            state.stats.messages_lost += lowest - state.expected
+            state.expected = lowest
+        else:
+            # a lost tail the (dead or amnesiac) sender cannot repair
+            state.stats.messages_lost += state.known_last - state.expected + 1
+            state.expected = state.known_last + 1
+        state.nack_attempts = 0
+        self._drain(state)
+        if state.has_gap():
+            self._arm_nack(state.session, state)

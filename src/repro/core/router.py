@@ -1,0 +1,407 @@
+"""Information routers: bridging buses across wide-area links (Section 3.1).
+
+    "Our implementation uses application-level 'information routers' ...
+    To the Information Bus, these routers look like ordinary applications,
+    but they actually integrate multiple instances of the bus.  Messages
+    are received by one router using a subscription, transmitted to
+    another router, and then re-published on another bus.  The router is
+    intelligent about which messages are sent to which routers: messages
+    are only re-published on buses for which there exists a subscription
+    on that subject; the router can also perform other functions, such as
+    transforming subjects or logging messages to non-volatile storage."
+
+A :class:`Router` has one :class:`RouterLeg` per bus.  Each leg is an
+ordinary bus client.  Legs learn their bus's subscription table from the
+daemons' ``_sub.advert`` broadcasts and ship pattern updates to the other
+legs over the WAN; a leg subscribes locally to exactly the patterns the
+*other* sides want, and forwards matching traffic across the
+:class:`WanLink` to be re-published — creating "the illusion of a single,
+large bus".
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..objects import decode, encode, standard_registry
+from ..sim.kernel import PeriodicTimer, Simulator
+from .bus import InformationBus
+from .client import BusClient, Subscription
+from .daemon import ADVERT_SUBJECT
+from .message import MessageInfo, QoS
+from .subjects import subject_matches
+
+__all__ = ["Router", "RouterLeg", "WanLink"]
+
+#: Router clients are named so legs can recognize (and not re-forward)
+#: each other's re-publications.
+ROUTER_CLIENT_NAME = "_router"
+
+#: Accounted WAN framing bytes per forwarded message.
+_WAN_HEADER = 32
+
+
+@dataclass
+class WanLink:
+    """A point-to-point wide-area link between two router legs.
+
+    Models latency plus serialization through a bounded-bandwidth pipe,
+    with independent capacity per direction.
+    """
+
+    latency: float = 0.03                      # 30 ms coast-to-coast
+    bandwidth_bytes_per_sec: float = 1_500_000 / 8   # a T1-and-a-bit
+
+    def __post_init__(self) -> None:
+        self._busy_until: Dict[Tuple[str, str], float] = {}
+        self._down = False
+        self.messages_dropped = 0
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    def fail(self) -> None:
+        """Take the link down: traffic handed to it is lost (it is a
+        datagram pipe — durability is the store-and-forward layer's job)."""
+        self._down = True
+
+    def restore(self) -> None:
+        self._down = False
+
+    def transfer_time(self, size: int) -> float:
+        return (size + _WAN_HEADER) / self.bandwidth_bytes_per_sec
+
+    def send(self, sim: Simulator, from_leg: str, to_leg: str, size: int,
+             deliver: Callable[[], None]) -> None:
+        """Schedule ``deliver`` after queueing + serialization + latency.
+
+        A down link silently drops (callers needing reliability retry —
+        see the store-and-forward machinery in :class:`RouterLeg`).
+        """
+        if self._down:
+            self.messages_dropped += 1
+            return
+        key = (from_leg, to_leg)
+        start = max(sim.now, self._busy_until.get(key, 0.0))
+        done = start + self.transfer_time(size)
+        self._busy_until[key] = done
+        sim.schedule(done + self.latency - sim.now, deliver,
+                     name="wan.deliver")
+
+
+class RouterLeg:
+    """One router foot on one bus."""
+
+    def __init__(self, router: "Router", bus: InformationBus,
+                 host_address: str,
+                 transform: Optional[Callable[[str], str]] = None,
+                 log_traffic: bool = False):
+        self.router = router
+        self.bus = bus
+        self.name = f"{bus.name}:{host_address}"
+        self.transform = transform
+        self.log_traffic = log_traffic
+        self.host = bus.add_host(host_address)
+        # all legs share the router's registry: a type learned from inline
+        # metadata on one bus is known when re-publishing on another
+        self.client: BusClient = bus.client(host_address, ROUTER_CLIENT_NAME,
+                                            registry=router.registry)
+        # what each local daemon currently wants, per host
+        self._local_wants: Dict[str, Set[str]] = {}
+        # forwarding subscriptions installed for remote legs' wants:
+        # pattern -> (subscription, set of interested remote leg names)
+        self._forwarding: Dict[str, Tuple[Subscription, Set[str]]] = {}
+        # dedupe of forwarded messages (a message can match two patterns)
+        self._recent: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+        self.messages_forwarded = 0
+        self.messages_republished = 0
+        self._sf_timer = None
+        self.host.on_recover(self._on_host_recover)
+        self.client.subscribe(ADVERT_SUBJECT, self._on_advert)
+
+    # ------------------------------------------------------------------
+    # learning the local subscription table
+    # ------------------------------------------------------------------
+    def _on_advert(self, subject: str, payload: Any, _info) -> None:
+        if not isinstance(payload, dict):
+            return
+        host = payload.get("host")
+        if host == self.host.address:
+            return   # our own forwarding subscriptions are not local wants
+        action = payload.get("action")
+        patterns = payload.get("patterns", [])
+        wants = self._local_wants.setdefault(host, set())
+        before = self._all_local_wants()
+        if action == "snapshot":
+            wants.clear()
+            wants.update(patterns)
+        elif action == "add":
+            wants.update(patterns)
+        elif action == "remove":
+            wants.difference_update(patterns)
+        after = self._all_local_wants()
+        added = after - before
+        removed = before - after
+        if added:
+            self.router._local_wants_changed(self, "add", sorted(added))
+        if removed:
+            self.router._local_wants_changed(self, "remove", sorted(removed))
+
+    def _all_local_wants(self) -> Set[str]:
+        out: Set[str] = set()
+        for wants in self._local_wants.values():
+            out |= wants
+        return out
+
+    # ------------------------------------------------------------------
+    # forwarding subscriptions for remote legs
+    # ------------------------------------------------------------------
+    def remote_wants(self, leg_name: str, action: str,
+                     patterns: List[str]) -> None:
+        """A remote leg's bus gained/lost interest in ``patterns``."""
+        for pattern in patterns:
+            entry = self._forwarding.get(pattern)
+            if action == "add":
+                if entry is None:
+                    # with store-and-forward on, the subscription is
+                    # durable: the local daemon's guaranteed-delivery ack
+                    # fires only after _forward has stably logged the
+                    # message — ack implies it will cross the WAN
+                    subscription = self.client.subscribe(
+                        pattern, self._forward,
+                        durable=self.router.store_and_forward)
+                    self._forwarding[pattern] = (subscription, {leg_name})
+                else:
+                    entry[1].add(leg_name)
+            elif entry is not None:
+                entry[1].discard(leg_name)
+                if not entry[1]:
+                    self.client.unsubscribe(entry[0])
+                    del self._forwarding[pattern]
+
+    def _forward(self, subject: str, obj: Any, info: MessageInfo) -> None:
+        if self.router.name in info.via:
+            # this message already traversed THIS router (a sibling leg
+            # re-published it, or it looped around a cyclic topology):
+            # forwarding again would duplicate or loop.  Messages from
+            # *other* routers are forwarded normally — that is what makes
+            # multi-hop chains (A -router1- B -router2- C) work.
+            return
+        key = (info.session, info.seq)
+        if key in self._recent:
+            return   # already forwarded (matched another pattern too)
+        self._recent[key] = None
+        while len(self._recent) > 4096:
+            self._recent.popitem(last=False)
+        targets = self._interested_legs(subject)
+        if self.log_traffic:
+            self.host.stable.append("router.log", {
+                "time": self.bus.sim.now, "subject": subject,
+                "size": info.size, "targets": sorted(targets)})
+        if not targets:
+            return
+        if self.router.store_and_forward and info.qos is QoS.GUARANTEED:
+            self._sf_enqueue(subject, obj, info, targets)
+            return
+        for leg_name in targets:
+            self.messages_forwarded += 1
+            self.router._ship(self, leg_name, subject, obj, info.size,
+                              info.via)
+
+    # ------------------------------------------------------------------
+    # store-and-forward (guaranteed QoS across the WAN)
+    # ------------------------------------------------------------------
+    _SF_PENDING = "router.sf.pending"
+    _SF_SEEN = "router.sf.seen"
+    _SF_COUNTER = "router.sf.counter"
+
+    def _sf_enqueue(self, subject: str, obj: Any, info: MessageInfo,
+                    targets: Set[str]) -> None:
+        """Stably log a guaranteed message, then ship with retry.
+
+        Runs inside the daemon's durable-delivery callback, so the ack
+        the original publisher receives means "logged at the router".
+        """
+        counter = self.host.stable.get(self._SF_COUNTER, 0) + 1
+        self.host.stable.put(self._SF_COUNTER, counter)
+        sf_id = f"{self.name}/{counter}"
+        record = {
+            "sf_id": sf_id, "subject": subject,
+            "wire": encode(obj, self.router.registry, inline_types=True),
+            "via": list(info.via), "pending": sorted(targets),
+        }
+        pending = self.host.stable.get(self._SF_PENDING, {})
+        pending[sf_id] = record
+        self.host.stable.put(self._SF_PENDING, pending)
+        self.messages_forwarded += len(targets)
+        self._sf_ship(record)
+        self._sf_arm_timer()
+
+    def _sf_ship(self, record: Dict[str, Any]) -> None:
+        size = len(record["wire"]) + len(record["subject"])
+        for leg_name in record["pending"]:
+            self.router._ship_sf(self, leg_name, dict(record), size)
+
+    def _sf_receive(self, origin_name: str, record: Dict[str, Any]) -> None:
+        """Target side: dedupe durably, republish as guaranteed, ack."""
+        if not self.client.daemon.up:
+            return   # origin keeps retrying until we are back
+        seen = set(self.host.stable.get(self._SF_SEEN, []))
+        if record["sf_id"] not in seen:
+            seen.add(record["sf_id"])
+            self.host.stable.put(self._SF_SEEN, sorted(seen))
+            obj = decode(record["wire"], self.router.registry)
+            out_subject = (self.transform(record["subject"])
+                           if self.transform else record["subject"])
+            self.messages_republished += 1
+            self.client.publish(
+                out_subject, obj, qos=QoS.GUARANTEED,
+                via=tuple(record["via"]) + (self.router.name,))
+        self.router._ship_sf_ack(self, origin_name, record["sf_id"])
+
+    def _sf_acked(self, target_name: str, sf_id: str) -> None:
+        """Origin side: a target confirmed stable receipt."""
+        pending = self.host.stable.get(self._SF_PENDING, {})
+        record = pending.get(sf_id)
+        if record is None:
+            return
+        if target_name in record["pending"]:
+            record["pending"].remove(target_name)
+        if record["pending"]:
+            pending[sf_id] = record
+        else:
+            del pending[sf_id]
+        self.host.stable.put(self._SF_PENDING, pending)
+
+    def sf_pending(self) -> int:
+        """Shipments not yet confirmed by every target (tests/benches)."""
+        return len(self.host.stable.get(self._SF_PENDING, {}))
+
+    def _sf_arm_timer(self) -> None:
+        if self._sf_timer is None or self._sf_timer.stopped:
+            self._sf_timer = PeriodicTimer(
+                self.bus.sim, self.router.sf_retry_interval,
+                self._sf_retry, name="router.sf.retry")
+
+    def _sf_retry(self) -> None:
+        if not self.client.daemon.up:
+            return
+        pending = self.host.stable.get(self._SF_PENDING, {})
+        if not pending:
+            self._sf_timer.stop()
+            return
+        for record in pending.values():
+            self._sf_ship(record)
+
+    def _on_host_recover(self) -> None:
+        """Resume shipping anything the crash left in the pending log."""
+        if self.host.stable.get(self._SF_PENDING, {}):
+            self._sf_arm_timer()
+
+    def _interested_legs(self, subject: str) -> Set[str]:
+        out: Set[str] = set()
+        for pattern, (_sub, legs) in self._forwarding.items():
+            if subject_matches(pattern, subject):
+                out |= legs
+        return out
+
+    def republish(self, subject: str, obj: Any,
+                  via: tuple = ()) -> None:
+        """Final hop: put a forwarded message onto this leg's bus.
+
+        The re-publication is stamped with every router it has
+        traversed, including this one — the loop/duplicate guard for
+        arbitrary topologies.
+        """
+        if not self.client.daemon.up:
+            return
+        out_subject = self.transform(subject) if self.transform else subject
+        self.messages_republished += 1
+        self.client.publish(out_subject, obj,
+                            via=tuple(via) + (self.router.name,))
+
+
+class Router:
+    """An application-level bridge between two or more buses.
+
+    All buses must share one :class:`~repro.sim.kernel.Simulator` (pass
+    ``sim=`` when constructing them).  Legs are fully meshed over
+    ``link``.
+    """
+
+    def __init__(self, name: str = "router",
+                 link: Optional[WanLink] = None,
+                 store_and_forward: bool = False,
+                 sf_retry_interval: float = 0.5):
+        self.name = name
+        self.link = link or WanLink()
+        #: with store-and-forward, guaranteed-QoS messages are stably
+        #: logged at the ingress leg (whose durable subscription acks the
+        #: original publisher) and shipped with retries until the egress
+        #: leg durably confirms — guaranteed delivery across the WAN,
+        #: surviving link failures and router crashes.  The paper's
+        #: "logging messages to non-volatile storage" router function.
+        self.store_and_forward = store_and_forward
+        self.sf_retry_interval = sf_retry_interval
+        self.legs: Dict[str, RouterLeg] = {}
+        self.registry = standard_registry()
+        self._sim: Optional[Simulator] = None
+
+    def add_leg(self, bus: InformationBus, host_address: Optional[str] = None,
+                transform: Optional[Callable[[str], str]] = None,
+                log_traffic: bool = False) -> RouterLeg:
+        if self._sim is None:
+            self._sim = bus.sim
+        elif bus.sim is not self._sim:
+            raise ValueError("all legs must share one Simulator")
+        address = host_address or f"{self.name}-{bus.name}"
+        leg = RouterLeg(self, bus, address, transform, log_traffic)
+        self.legs[leg.name] = leg
+        return leg
+
+    # ------------------------------------------------------------------
+    # inter-leg control and data planes (over the WAN link)
+    # ------------------------------------------------------------------
+    def _local_wants_changed(self, origin: RouterLeg, action: str,
+                             patterns: List[str]) -> None:
+        size = _WAN_HEADER + sum(len(p) for p in patterns)
+        for leg in self.legs.values():
+            if leg is origin:
+                continue
+            self.link.send(
+                self._sim, origin.name, leg.name, size,
+                lambda leg=leg: leg.remote_wants(origin.name, action,
+                                                 patterns))
+
+    def _ship(self, origin: RouterLeg, target_name: str, subject: str,
+              obj: Any, size: int, via: tuple = ()) -> None:
+        target = self.legs.get(target_name)
+        if target is None:
+            return
+        self.link.send(self._sim, origin.name, target_name, size,
+                       lambda: target.republish(subject, obj, via))
+
+    def _ship_sf(self, origin: RouterLeg, target_name: str,
+                 record: Dict[str, Any], size: int) -> None:
+        target = self.legs.get(target_name)
+        if target is None:
+            return
+        self.link.send(self._sim, origin.name, target_name, size,
+                       lambda: target._sf_receive(origin.name, record))
+
+    def _ship_sf_ack(self, origin: RouterLeg, target_name: str,
+                     sf_id: str) -> None:
+        target = self.legs.get(target_name)
+        if target is None:
+            return
+        self.link.send(self._sim, origin.name, target_name,
+                       _WAN_HEADER + len(sf_id),
+                       lambda: target._sf_acked(origin.name, sf_id))
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {name: {"forwarded": leg.messages_forwarded,
+                       "republished": leg.messages_republished}
+                for name, leg in self.legs.items()}

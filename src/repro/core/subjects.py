@@ -1,0 +1,262 @@
+"""Subject-Based Addressing (the heart of P4, anonymous communication).
+
+Subjects are hierarchically structured, dot-separated strings — the
+paper's example is ``"fab5.cc.litho8.thick"`` (plant, cell controller,
+lithography station, wafer thickness).  Consumers may subscribe with
+patterns that are "partially specified or 'wildcarded'":
+
+* ``*`` matches exactly one element: ``news.equity.*`` matches
+  ``news.equity.gmc`` but not ``news.equity.gmc.update``;
+* ``>`` as the final element matches one or more trailing elements:
+  ``fab5.>`` matches everything under ``fab5``.
+
+The Information Bus itself "enforces no policy on the interpretation of
+subjects" — matching is purely structural.
+
+:class:`SubjectTrie` is the daemon's subscription table: inserting N
+patterns and matching a subject costs O(subject depth), independent of N
+— which is why Figure 8 (ten thousand subjects) shows no throughput
+effect.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Generic, List, Optional, Set, TypeVar
+
+__all__ = ["BadSubjectError", "SubjectTrie", "is_admin_subject",
+           "is_valid_pattern",
+           "is_valid_subject", "split_subject", "subject_matches",
+           "validate_pattern", "validate_subject"]
+
+_ELEMENT_RE = re.compile(r"^[A-Za-z0-9_\-]+$")
+
+#: Maximum elements in a subject; a sanity bound, not a protocol limit.
+MAX_DEPTH = 32
+
+
+class BadSubjectError(ValueError):
+    """A malformed subject or subscription pattern."""
+
+
+def split_subject(subject: str) -> List[str]:
+    return subject.split(".")
+
+
+def validate_subject(subject: str) -> List[str]:
+    """Validate a *concrete* subject (no wildcards); return its elements."""
+    if not subject:
+        raise BadSubjectError("empty subject")
+    elements = split_subject(subject)
+    if len(elements) > MAX_DEPTH:
+        raise BadSubjectError(f"subject too deep ({len(elements)} elements)")
+    for element in elements:
+        if not _ELEMENT_RE.match(element):
+            raise BadSubjectError(
+                f"bad subject element {element!r} in {subject!r}")
+    return elements
+
+
+def validate_pattern(pattern: str) -> List[str]:
+    """Validate a subscription pattern; return its elements."""
+    if not pattern:
+        raise BadSubjectError("empty pattern")
+    elements = split_subject(pattern)
+    if len(elements) > MAX_DEPTH:
+        raise BadSubjectError(f"pattern too deep ({len(elements)} elements)")
+    for index, element in enumerate(elements):
+        if element == "*":
+            continue
+        if element == ">":
+            if index != len(elements) - 1:
+                raise BadSubjectError(
+                    f"'>' must be the final element: {pattern!r}")
+            continue
+        if not _ELEMENT_RE.match(element):
+            raise BadSubjectError(
+                f"bad pattern element {element!r} in {pattern!r}")
+    return elements
+
+
+def is_valid_subject(subject: str) -> bool:
+    try:
+        validate_subject(subject)
+        return True
+    except BadSubjectError:
+        return False
+
+
+def is_valid_pattern(pattern: str) -> bool:
+    try:
+        validate_pattern(pattern)
+        return True
+    except BadSubjectError:
+        return False
+
+
+def is_admin_subject(subject: str) -> bool:
+    """True for reserved/administrative subjects (first element starts
+    with ``_``): bus-internal traffic such as ``_discovery.*`` and
+    ``_sub.advert``.  Wildcards never match these — a ``>`` subscriber
+    should see application data, not protocol chatter — so the first
+    pattern element must name them literally."""
+    return subject.split(".", 1)[0].startswith("_")
+
+
+def subject_matches(pattern: str, subject: str) -> bool:
+    """True if ``pattern`` matches the concrete ``subject``."""
+    p_elements = validate_pattern(pattern)
+    s_elements = validate_subject(subject)
+    if s_elements[0].startswith("_") and p_elements[0] in ("*", ">"):
+        return False   # reserved subjects need a literal first element
+    for index, p_element in enumerate(p_elements):
+        if p_element == ">":
+            return len(s_elements) > index   # one or more remaining
+        if index >= len(s_elements):
+            return False
+        if p_element != "*" and p_element != s_elements[index]:
+            return False
+    return len(p_elements) == len(s_elements)
+
+
+T = TypeVar("T")
+
+
+class _TrieNode(Generic[T]):
+    __slots__ = ("children", "star", "tail", "values", "tail_values")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode[T]"] = {}
+        self.star: Optional["_TrieNode[T]"] = None
+        self.values: Set[T] = set()        # subscriptions ending exactly here
+        self.tail_values: Set[T] = set()   # '>' subscriptions rooted here
+
+    def empty(self) -> bool:
+        return (not self.children and self.star is None
+                and not self.values and not self.tail_values)
+
+
+class SubjectTrie(Generic[T]):
+    """Maps subscription patterns to sets of opaque values.
+
+    Used by daemons (pattern -> local clients), routers (pattern ->
+    remote buses), and anywhere else subjects fan out.  ``match`` cost is
+    O(depth × branching on wildcards), not O(#subscriptions).
+    """
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[T] = _TrieNode()
+        self._count = 0
+
+    def insert(self, pattern: str, value: T) -> None:
+        """Register ``value`` under ``pattern``.  Duplicate inserts are no-ops."""
+        elements = validate_pattern(pattern)
+        node = self._root
+        for element in elements:
+            if element == ">":
+                if value not in node.tail_values:
+                    node.tail_values.add(value)
+                    self._count += 1
+                return
+            if element == "*":
+                if node.star is None:
+                    node.star = _TrieNode()
+                node = node.star
+            else:
+                node = node.children.setdefault(element, _TrieNode())
+        if value not in node.values:
+            node.values.add(value)
+            self._count += 1
+
+    def remove(self, pattern: str, value: T) -> bool:
+        """Remove one registration; returns True if it existed.
+
+        Empty trie branches are pruned so long-running daemons with
+        churning subscriptions do not leak.
+        """
+        elements = validate_pattern(pattern)
+        return self._remove(self._root, elements, 0, value)
+
+    def _remove(self, node: _TrieNode[T], elements: List[str], index: int,
+                value: T) -> bool:
+        if index < len(elements) and elements[index] == ">":
+            if value in node.tail_values:
+                node.tail_values.discard(value)
+                self._count -= 1
+                return True
+            return False
+        if index == len(elements):
+            if value in node.values:
+                node.values.discard(value)
+                self._count -= 1
+                return True
+            return False
+        element = elements[index]
+        if element == "*":
+            child = node.star
+            if child is None:
+                return False
+            removed = self._remove(child, elements, index + 1, value)
+            if removed and child.empty():
+                node.star = None
+            return removed
+        child = node.children.get(element)
+        if child is None:
+            return False
+        removed = self._remove(child, elements, index + 1, value)
+        if removed and child.empty():
+            del node.children[element]
+        return removed
+
+    def match(self, subject: str) -> Set[T]:
+        """Every value whose pattern matches the concrete ``subject``.
+
+        Reserved subjects (leading ``_`` element) are only reached by
+        patterns that name the first element literally — see
+        :func:`is_admin_subject`.
+        """
+        elements = validate_subject(subject)
+        out: Set[T] = set()
+        admin = elements[0].startswith("_")
+        self._match(self._root, elements, 0, out, root_admin=admin)
+        return out
+
+    def _match(self, node: _TrieNode[T], elements: List[str], index: int,
+               out: Set[T], root_admin: bool = False) -> None:
+        wildcards_ok = not (root_admin and index == 0)
+        if index < len(elements) and wildcards_ok:
+            out |= node.tail_values   # '>' here matches the non-empty rest
+        if index == len(elements):
+            out |= node.values
+            return
+        element = elements[index]
+        child = node.children.get(element)
+        if child is not None:
+            self._match(child, elements, index + 1, out)
+        if node.star is not None and wildcards_ok:
+            self._match(node.star, elements, index + 1, out)
+
+    def matches_anything(self, subject: str) -> bool:
+        """Cheaper ``bool(match(subject))`` for forwarding decisions."""
+        return bool(self.match(subject))
+
+    def patterns_for(self, value: T) -> List[str]:
+        """Every pattern under which ``value`` is registered (diagnostics)."""
+        out: List[str] = []
+        self._collect(self._root, [], value, out)
+        return sorted(out)
+
+    def _collect(self, node: _TrieNode[T], prefix: List[str], value: T,
+                 out: List[str]) -> None:
+        if value in node.values and prefix:
+            out.append(".".join(prefix))
+        if value in node.tail_values:
+            out.append(".".join(prefix + [">"]))
+        for element, child in node.children.items():
+            self._collect(child, prefix + [element], value, out)
+        if node.star is not None:
+            self._collect(node.star, prefix + ["*"], value, out)
+
+    def __len__(self) -> int:
+        """Number of (pattern, value) registrations."""
+        return self._count

@@ -1,0 +1,38 @@
+"""Standard types every Information Bus process starts with.
+
+The paper's architecture assumes a small set of concepts all parties
+understand: the root ``object`` type and the OMG-style ``property``
+name/value pair (Section 5.2, footnote 5).  :func:`standard_registry`
+builds a :class:`~repro.objects.registry.TypeRegistry` preloaded with
+them; fundamentals (``int``, ``string``, ...) are built into the type
+vocabulary itself rather than registered.
+"""
+
+from __future__ import annotations
+
+from .registry import TypeRegistry
+from .types import AttributeSpec, TypeDescriptor
+
+__all__ = ["PROPERTY_TYPE", "standard_registry"]
+
+#: Name of the built-in property type.
+PROPERTY_TYPE = "property"
+
+
+def standard_registry() -> TypeRegistry:
+    """A fresh registry containing the root type and ``property``."""
+    registry = TypeRegistry()
+    registry.register(TypeDescriptor(
+        PROPERTY_TYPE,
+        attributes=[
+            AttributeSpec("name", "string",
+                          doc="the property's name, e.g. 'keywords'"),
+            AttributeSpec("value", "any",
+                          doc="the property's value"),
+            AttributeSpec("ref", "string", required=False,
+                          doc="oid of the object this property annotates"),
+        ],
+        doc="a dynamically definable name-value pair associated with an "
+            "object (OMG Object Services nomenclature)",
+    ))
+    return registry

@@ -1,0 +1,186 @@
+"""Self-describing data objects (P2).
+
+A :class:`DataObject` is an instance of a registered type: a bag of typed,
+validated attributes plus the meta-object protocol — ``type_name``,
+``attribute_names()``, ``attribute_type()``, ``operations()`` — that lets
+generic tools (the print utility, the repository's schema mapper, the
+application builder) operate on objects of types they were never compiled
+against.
+
+Every object carries an ``oid``, a process-unique identity used by the
+repository as the primary key and by :class:`~repro.objects.properties`
+Property objects to reference the object they annotate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from .registry import TypeRegistry
+from .types import (AttributeSpec, OperationSpec, TypeError_, parse_type_name)
+
+__all__ = ["DataObject", "check_value", "ValidationError"]
+
+_oid_counter = itertools.count(1)
+
+
+def _new_oid(type_name: str) -> str:
+    return f"{type_name}:{next(_oid_counter):08d}"
+
+
+class ValidationError(TypeError_):
+    """An attribute value does not conform to its declared type."""
+
+
+def check_value(registry: TypeRegistry, type_name: str, value: Any) -> None:
+    """Validate ``value`` against ``type_name``; raise :class:`ValidationError`.
+
+    Implements the full attribute-type vocabulary: fundamentals, ``any``,
+    object types (subtype instances accepted), ``list<T>`` and ``map<T>``.
+    """
+    outer, inner = parse_type_name(type_name)
+    if outer == "any":
+        return
+    if outer == "int":
+        # bool is an int subclass in Python; reject it for int attributes
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ValidationError(f"expected int, got {value!r}")
+        return
+    if outer == "float":
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValidationError(f"expected float, got {value!r}")
+        return
+    if outer == "bool":
+        if not isinstance(value, bool):
+            raise ValidationError(f"expected bool, got {value!r}")
+        return
+    if outer == "string":
+        if not isinstance(value, str):
+            raise ValidationError(f"expected string, got {value!r}")
+        return
+    if outer == "bytes":
+        if not isinstance(value, bytes):
+            raise ValidationError(f"expected bytes, got {value!r}")
+        return
+    if outer == "list":
+        if not isinstance(value, list):
+            raise ValidationError(f"expected list, got {value!r}")
+        for item in value:
+            check_value(registry, inner, item)
+        return
+    if outer == "map":
+        if not isinstance(value, dict):
+            raise ValidationError(f"expected map, got {value!r}")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValidationError(f"map keys must be strings, got {key!r}")
+            check_value(registry, inner, item)
+        return
+    # an object type: value must be a DataObject of that type or a subtype
+    if not isinstance(value, DataObject):
+        raise ValidationError(
+            f"expected object of type {outer!r}, got {value!r}")
+    if not registry.is_subtype(value.type_name, outer):
+        raise ValidationError(
+            f"expected object of type {outer!r}, got {value.type_name!r}")
+
+
+class DataObject:
+    """An instance of a registered type, validated against its descriptor."""
+
+    __slots__ = ("_registry", "_type_name", "_attrs", "oid")
+
+    def __init__(self, registry: TypeRegistry, type_name: str,
+                 attributes: Optional[Dict[str, Any]] = None,
+                 oid: Optional[str] = None, **kwargs: Any):
+        descriptor = registry.get(type_name)   # raises on unknown type
+        self._registry = registry
+        self._type_name = descriptor.name
+        self._attrs: Dict[str, Any] = {}
+        self.oid = oid or _new_oid(descriptor.name)
+        values = dict(attributes or {})
+        values.update(kwargs)
+        specs = {a.name: a for a in registry.all_attributes(type_name)}
+        for name, value in values.items():
+            if name not in specs:
+                raise ValidationError(
+                    f"type {type_name!r} has no attribute {name!r}")
+            check_value(registry, specs[name].type_name, value)
+            self._attrs[name] = value
+        missing = [a.name for a in specs.values()
+                   if a.required and a.name not in self._attrs]
+        if missing:
+            raise ValidationError(
+                f"type {type_name!r}: missing required attributes {missing}")
+
+    # ------------------------------------------------------------------
+    # meta-object protocol
+    # ------------------------------------------------------------------
+    @property
+    def type_name(self) -> str:
+        return self._type_name
+
+    @property
+    def registry(self) -> TypeRegistry:
+        return self._registry
+
+    def descriptor(self):
+        return self._registry.get(self._type_name)
+
+    def attribute_names(self) -> List[str]:
+        """Declared attribute names (inherited first), set or not."""
+        return [a.name for a in self._registry.all_attributes(self._type_name)]
+
+    def attribute_type(self, name: str) -> str:
+        spec = self._registry.attribute(self._type_name, name)
+        if spec is None:
+            raise ValidationError(
+                f"type {self._type_name!r} has no attribute {name!r}")
+        return spec.type_name
+
+    def attribute_specs(self) -> List[AttributeSpec]:
+        return self._registry.all_attributes(self._type_name)
+
+    def operations(self) -> List[OperationSpec]:
+        return self._registry.all_operations(self._type_name)
+
+    def is_a(self, type_name: str) -> bool:
+        """True if this object's type equals or descends from ``type_name``."""
+        return self._registry.is_subtype(self._type_name, type_name)
+
+    # ------------------------------------------------------------------
+    # attribute access
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: Any = None) -> Any:
+        self.attribute_type(name)   # raise on undeclared name
+        return self._attrs.get(name, default)
+
+    def set(self, name: str, value: Any) -> None:
+        type_name = self.attribute_type(name)
+        check_value(self._registry, type_name, value)
+        self._attrs[name] = value
+
+    def has(self, name: str) -> bool:
+        return name in self._attrs
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Shallow copy of the set attributes (no recursion into children)."""
+        return dict(self._attrs)
+
+    def __eq__(self, other: Any) -> bool:
+        """Structural equality: same type, same attribute values.
+
+        The oid is identity, not state, so it does not participate — an
+        object decoded off the wire equals the one that was published.
+        """
+        return (isinstance(other, DataObject)
+                and other._type_name == self._type_name
+                and other._attrs == self._attrs)
+
+    def __hash__(self) -> int:
+        return hash((self._type_name, self.oid))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attrs.items()))
+        return f"{self._type_name}({attrs})"

@@ -1,0 +1,68 @@
+"""The generic print utility from Section 3 of the paper.
+
+    "Our implementation of this utility can accept any object of any type
+    and produce a text description of the object.  It examines the object
+    to determine its type, and then generates appropriate output.  In the
+    case of a complex object, the utility will recursively descend into
+    the components of the object.  The print utility only needs to
+    understand the fundamental types."
+
+:func:`render` does exactly that: it never special-cases any application
+type — everything is driven by the meta-object protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .data_object import DataObject
+
+__all__ = ["render", "render_lines"]
+
+_INDENT = "  "
+
+
+def render(value: Any, max_depth: int = 12) -> str:
+    """A text description of any value, driven purely by introspection."""
+    return "\n".join(render_lines(value, max_depth=max_depth))
+
+
+def render_lines(value: Any, depth: int = 0, max_depth: int = 12,
+                 label: str = "") -> List[str]:
+    """Recursive worker for :func:`render`; one output line per list item."""
+    prefix = _INDENT * depth + (f"{label}: " if label else "")
+    if depth > max_depth:
+        return [prefix + "..."]
+    if isinstance(value, DataObject):
+        lines = [prefix + f"<{value.type_name}> (oid {value.oid})"]
+        for name in value.attribute_names():
+            if not value.has(name):
+                lines.append(_INDENT * (depth + 1)
+                             + f"{name}: <unset {value.attribute_type(name)}>")
+                continue
+            lines.extend(render_lines(value.get(name), depth + 1,
+                                      max_depth, label=name))
+        return lines
+    if isinstance(value, list):
+        if not value:
+            return [prefix + "[]"]
+        lines = [prefix + f"list of {len(value)}"]
+        for index, item in enumerate(value):
+            lines.extend(render_lines(item, depth + 1, max_depth,
+                                      label=f"[{index}]"))
+        return lines
+    if isinstance(value, dict):
+        if not value:
+            return [prefix + "{}"]
+        lines = [prefix + f"map of {len(value)}"]
+        for key in sorted(value):
+            lines.extend(render_lines(value[key], depth + 1, max_depth,
+                                      label=key))
+        return lines
+    if isinstance(value, str):
+        return [prefix + f"\"{value}\""]
+    if isinstance(value, bytes):
+        return [prefix + f"<{len(value)} bytes>"]
+    if value is None:
+        return [prefix + "nil"]
+    return [prefix + repr(value)]

@@ -1,0 +1,67 @@
+"""Property objects: dynamically attachable name-value annotations.
+
+The Keyword Generator example (Section 5.2) publishes a ``keywords``
+property for each story it analyses, under the story's subject; the News
+Monitor associates properties with the objects they reference via the
+``ref`` oid and displays them alongside the object's own attributes —
+without either side knowing the other exists (P4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .builtin_types import PROPERTY_TYPE
+from .data_object import DataObject
+from .registry import TypeRegistry
+
+__all__ = ["make_property", "is_property", "PropertyIndex"]
+
+
+def make_property(registry: TypeRegistry, name: str, value: Any,
+                  ref: Optional[str] = None) -> DataObject:
+    """Create a ``property`` DataObject annotating the object with oid ``ref``."""
+    attrs: Dict[str, Any] = {"name": name, "value": value}
+    if ref is not None:
+        attrs["ref"] = ref
+    return DataObject(registry, PROPERTY_TYPE, attrs)
+
+
+def is_property(obj: Any) -> bool:
+    """True if ``obj`` is a property object (of the built-in type or a subtype)."""
+    return isinstance(obj, DataObject) and obj.is_a(PROPERTY_TYPE)
+
+
+class PropertyIndex:
+    """Associates received property objects with the objects they reference.
+
+    Consumers (e.g. the News Monitor) feed every incoming object through
+    :meth:`add`; properties are indexed by their ``ref`` oid, other objects
+    by their own oid, and :meth:`properties_of` answers the join.
+    """
+
+    def __init__(self) -> None:
+        self._by_ref: Dict[str, List[DataObject]] = {}
+
+    def add(self, obj: DataObject) -> bool:
+        """Index ``obj`` if it is a property.  Returns True if it was one."""
+        if not is_property(obj):
+            return False
+        ref = obj.get("ref")
+        if ref is not None:
+            self._by_ref.setdefault(ref, []).append(obj)
+        return True
+
+    def properties_of(self, oid: str) -> List[DataObject]:
+        """All properties received so far that annotate object ``oid``."""
+        return list(self._by_ref.get(oid, []))
+
+    def property_value(self, oid: str, name: str, default: Any = None) -> Any:
+        """The most recent value of property ``name`` on object ``oid``."""
+        for prop in reversed(self._by_ref.get(oid, [])):
+            if prop.get("name") == name:
+                return prop.get("value")
+        return default
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_ref.values())

@@ -1,0 +1,182 @@
+"""The type registry: dynamic classing support (P3).
+
+A :class:`TypeRegistry` holds every :class:`~repro.objects.types.
+TypeDescriptor` known to one process.  New types may be registered at any
+time — by TDL ``defclass`` forms, by the marshalling layer when a message
+arrives carrying inline metadata for a type this process has never seen,
+or directly through the API.  Listeners fire on each registration, which
+is how the Object Repository extends its database schema on the fly
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from .types import (FUNDAMENTAL_TYPES, ROOT_TYPE, TypeDescriptor, TypeError_,
+                    parse_type_name)
+
+__all__ = ["TypeRegistry"]
+
+
+class TypeRegistry:
+    """All types known to one process, with hierarchy-aware queries."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, TypeDescriptor] = {}
+        self._subtypes: Dict[str, List[str]] = {}
+        self._listeners: List[Callable[[TypeDescriptor], None]] = []
+        self.register(TypeDescriptor(ROOT_TYPE, supertype=None,
+                                     doc="root of the object hierarchy"))
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, descriptor: TypeDescriptor) -> TypeDescriptor:
+        """Register a new type.
+
+        Re-registering a type with an *identical* interface is a no-op
+        (two processes can independently learn the same type off the
+        wire); re-registering with a different interface raises.
+        """
+        existing = self._types.get(descriptor.name)
+        if existing is not None:
+            if existing.same_shape(descriptor):
+                return existing
+            raise TypeError_(
+                f"type {descriptor.name!r} already registered with a "
+                f"different interface")
+        if descriptor.supertype is not None:
+            if descriptor.supertype not in self._types:
+                raise TypeError_(
+                    f"type {descriptor.name!r}: unknown supertype "
+                    f"{descriptor.supertype!r}")
+        for attr in descriptor.own_attributes():
+            self._check_type_ref(descriptor.name, attr.type_name)
+        for op in descriptor.own_operations():
+            if op.result_type != "void":
+                self._check_type_ref(descriptor.name, op.result_type)
+            for param in op.params:
+                self._check_type_ref(descriptor.name, param.type_name)
+        self._check_attribute_conflicts(descriptor)
+        self._types[descriptor.name] = descriptor
+        if descriptor.supertype is not None:
+            self._subtypes.setdefault(descriptor.supertype, []).append(
+                descriptor.name)
+        for listener in list(self._listeners):
+            listener(descriptor)
+        return descriptor
+
+    def _check_type_ref(self, owner: str, type_name: str) -> None:
+        outer, inner = parse_type_name(type_name)
+        if inner is not None:
+            self._check_type_ref(owner, inner)
+            return
+        if outer in FUNDAMENTAL_TYPES or outer == owner:
+            return
+        if outer not in self._types:
+            raise TypeError_(
+                f"type {owner!r} references unknown type {outer!r}")
+
+    def _check_attribute_conflicts(self, descriptor: TypeDescriptor) -> None:
+        """A subtype may not redeclare an inherited attribute name."""
+        if descriptor.supertype is None:
+            return
+        inherited = {a.name for a in self.all_attributes(descriptor.supertype)}
+        for attr in descriptor.own_attributes():
+            if attr.name in inherited:
+                raise TypeError_(
+                    f"type {descriptor.name!r} redeclares inherited "
+                    f"attribute {attr.name!r}")
+
+    def on_register(self, listener: Callable[[TypeDescriptor], None]) -> None:
+        """Call ``listener(descriptor)`` for every future registration."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> TypeDescriptor:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise TypeError_(f"unknown type: {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._types
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __iter__(self) -> Iterator[TypeDescriptor]:
+        return iter(self._types.values())
+
+    # ------------------------------------------------------------------
+    # hierarchy queries
+    # ------------------------------------------------------------------
+    def supertype_chain(self, name: str) -> List[str]:
+        """``name`` and its ancestors, most-derived first, ending at root."""
+        chain = []
+        current: Optional[str] = name
+        while current is not None:
+            descriptor = self.get(current)
+            chain.append(current)
+            current = descriptor.supertype
+        return chain
+
+    def is_subtype(self, name: str, ancestor: str) -> bool:
+        """True if ``name`` equals or descends from ``ancestor``."""
+        return ancestor in self.supertype_chain(name)
+
+    def subtypes_of(self, name: str, transitive: bool = True) -> List[str]:
+        """Direct (or all transitive) subtypes of ``name``, sorted."""
+        self.get(name)   # raise on unknown
+        direct = self._subtypes.get(name, [])
+        if not transitive:
+            return sorted(direct)
+        out = []
+        stack = list(direct)
+        while stack:
+            child = stack.pop()
+            out.append(child)
+            stack.extend(self._subtypes.get(child, []))
+        return sorted(out)
+
+    # ------------------------------------------------------------------
+    # inherited views (the MOP answers merged declarations)
+    # ------------------------------------------------------------------
+    def all_attributes(self, name: str) -> List:
+        """Every attribute of ``name`` including inherited ones.
+
+        Supertype attributes come first, matching the paper's repository
+        mapping where supertype columns are shared across subtypes.
+        """
+        out = []
+        for type_name in reversed(self.supertype_chain(name)):
+            out.extend(self.get(type_name).own_attributes())
+        return out
+
+    def attribute(self, name: str, attr_name: str):
+        for type_name in self.supertype_chain(name):
+            attr = self.get(type_name).own_attribute(attr_name)
+            if attr is not None:
+                return attr
+        return None
+
+    def all_operations(self, name: str) -> List:
+        """Every operation of ``name``; subtype declarations override."""
+        merged: Dict[str, object] = {}
+        for type_name in reversed(self.supertype_chain(name)):
+            for op in self.get(type_name).own_operations():
+                merged[op.name] = op
+        return list(merged.values())
+
+    def operation(self, name: str, op_name: str):
+        for type_name in self.supertype_chain(name):
+            op = self.get(type_name).own_operation(op_name)
+            if op is not None:
+                return op
+        return None

@@ -1,0 +1,106 @@
+"""Service objects: large-grained objects invoked where they reside.
+
+The paper's model distinguishes *service objects* — which "encapsulate
+and control access to resources ... are not easily marshalled ... instead
+of migrating to another node, they are invoked where they reside, using a
+form of remote procedure call" (Section 3) — from data objects.
+
+A :class:`ServiceObject` binds an interface (a :class:`~repro.objects.
+types.TypeDescriptor` with operations) to Python callables and enforces
+the declared signatures on every invocation, including the ones arriving
+over RMI.  Being self-describing (P2), its interface can be browsed by
+generic tools such as the application builder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from .data_object import check_value
+from .registry import TypeRegistry
+from .types import OperationSpec, TypeError_
+
+__all__ = ["ServiceObject", "ServiceError"]
+
+
+class ServiceError(TypeError_):
+    """Unknown operation, bad arguments, or unimplemented method."""
+
+
+class ServiceObject:
+    """An implementation (a *class*, in the paper's terms) of a service type."""
+
+    def __init__(self, registry: TypeRegistry, interface_name: str):
+        self.registry = registry
+        self.interface = registry.get(interface_name)
+        self._methods: Dict[str, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    # wiring implementations
+    # ------------------------------------------------------------------
+    def implement(self, op_name: str,
+                  method: Callable[..., Any]) -> "ServiceObject":
+        """Bind ``method`` as the implementation of operation ``op_name``."""
+        if self.registry.operation(self.interface.name, op_name) is None:
+            raise ServiceError(
+                f"interface {self.interface.name!r} declares no operation "
+                f"{op_name!r}")
+        self._methods[op_name] = method
+        return self
+
+    def missing_operations(self) -> List[str]:
+        """Declared operations with no bound implementation."""
+        declared = {op.name
+                    for op in self.registry.all_operations(self.interface.name)}
+        return sorted(declared - set(self._methods))
+
+    # ------------------------------------------------------------------
+    # meta-object protocol
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict:
+        return self.interface.describe()
+
+    def operations(self) -> List[OperationSpec]:
+        return self.registry.all_operations(self.interface.name)
+
+    def operation(self, name: str) -> OperationSpec:
+        op = self.registry.operation(self.interface.name, name)
+        if op is None:
+            raise ServiceError(
+                f"interface {self.interface.name!r} declares no operation "
+                f"{name!r}")
+        return op
+
+    # ------------------------------------------------------------------
+    # invocation
+    # ------------------------------------------------------------------
+    def invoke(self, op_name: str, args: Dict[str, Any]) -> Any:
+        """Type-check ``args`` against the signature and call the method.
+
+        The result is checked against the declared result type too, so a
+        buggy implementation cannot leak malformed data onto the bus.
+        """
+        op = self.operation(op_name)
+        method = self._methods.get(op_name)
+        if method is None:
+            raise ServiceError(
+                f"operation {op_name!r} is declared but not implemented")
+        declared = {p.name for p in op.params}
+        unknown = set(args) - declared
+        if unknown:
+            raise ServiceError(
+                f"{op.signature()}: unknown arguments {sorted(unknown)}")
+        missing = declared - set(args)
+        if missing:
+            raise ServiceError(
+                f"{op.signature()}: missing arguments {sorted(missing)}")
+        for param in op.params:
+            check_value(self.registry, param.type_name, args[param.name])
+        result = method(**args)
+        if op.result_type == "void":
+            return None
+        check_value(self.registry, op.result_type, result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ServiceObject {self.interface.name}>"

@@ -1,0 +1,23 @@
+"""The Object Repository: a sophisticated adapter mapping bus objects to
+relations (Section 4), over a built-in relational engine."""
+
+from .relational import (BLOB, BOOLEAN, Column, Database, DatabaseError,
+                         INTEGER, REAL, TEXT, Table)
+from .query import (And, Contains, Eq, Ge, Gt, In, Le, Lt, Ne, Not, Or,
+                    Predicate, TRUE, predicate_from_wire,
+                    predicate_to_wire)
+from .schema_mapper import (DIRECTORY_TABLE, AttributeMapping, SchemaMapper,
+                            TypeSchema, child_table_name, main_table_name)
+from .object_store import ObjectStore, StoreError
+from .capture import CaptureServer
+from .query_server import QUERY_SERVICE_TYPE, QueryServer, register_query_interface
+
+__all__ = [
+    "And", "AttributeMapping", "BLOB", "BOOLEAN", "CaptureServer", "Column",
+    "Contains", "DIRECTORY_TABLE", "Database", "DatabaseError", "Eq", "Ge",
+    "Gt", "In", "INTEGER", "Le", "Lt", "Ne", "Not", "ObjectStore", "Or",
+    "Predicate", "QUERY_SERVICE_TYPE", "QueryServer", "REAL", "SchemaMapper",
+    "StoreError", "TEXT", "TRUE", "Table", "TypeSchema", "child_table_name",
+    "main_table_name", "predicate_from_wire", "predicate_to_wire",
+    "register_query_interface",
+]

@@ -1,0 +1,112 @@
+"""The Object Repository as a bus application.
+
+Section 4: "it may be configured as a capture server that captures all
+objects for a given set of subjects and inserts those objects
+automatically into the repository under those subjects; it may also be
+configured as a query server to receive requests from clients and return
+replies."  This module is the capture configuration; see
+:mod:`repro.repository.query_server` for the other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core import BusClient, MessageInfo
+from ..objects import DataObject, decode, encode
+from .object_store import ObjectStore
+from .relational import Database
+
+__all__ = ["CaptureServer"]
+
+#: Stable-storage log holding the capture server's write-ahead records.
+_WAL_LOG = "repo.wal"
+
+
+class CaptureServer:
+    """Subscribes to subjects and inserts every received object.
+
+    The subscription is *durable* by default, so publishers using
+    guaranteed delivery get their "sending data to a database over an
+    unreliable network" semantics: the capture server acknowledges each
+    message only after it is stored.
+
+    Thanks to P2 and dynamic schema generation, the capture server needs
+    no per-type code: "when the repository needs to store an instance of
+    a previously unknown type, it is capable of generating one or more
+    new database tables to represent the new type."
+
+    Durability: the paper's repository sits on a commercial RDBMS whose
+    storage survives crashes; our in-memory relational engine does not.
+    ``persistent=True`` (the default) closes that gap with a write-ahead
+    log in the host's stable storage — each object's wire encoding is
+    logged before the store is updated, and :meth:`recover` (invoked
+    automatically when the host comes back up) replays it.  Without
+    this, acknowledging a guaranteed message and then crashing would
+    lose data the publisher believes is safely in the database.
+    """
+
+    def __init__(self, client: BusClient, subjects: List[str],
+                 db: Optional[Database] = None, durable: bool = True,
+                 store_subject: bool = True, persistent: bool = True):
+        self.client = client
+        self.db = db or Database(f"{client.id}.capture")
+        self.store = ObjectStore(self.db, client.registry)
+        self.store_subject = store_subject
+        self.persistent = persistent
+        self.captured = 0
+        self.skipped = 0
+        self.replayed = 0
+        #: subject each oid arrived under (the "under those subjects" part)
+        self._subjects_by_oid: Dict[str, str] = {}
+        self._subscriptions = [
+            client.subscribe(pattern, self._on_message, durable=durable)
+            for pattern in subjects]
+        if persistent:
+            client.host.on_recover(self.recover)
+            if client.host.stable.log_length(_WAL_LOG):
+                self.recover()   # a previous incarnation left data
+
+    def _on_message(self, subject: str, obj: Any, info: MessageInfo) -> None:
+        if not isinstance(obj, DataObject):
+            self.skipped += 1   # scalar payloads are not repository food
+            return
+        if self.persistent:
+            # log before store: the guaranteed-delivery ack (sent by the
+            # daemon after this callback) must imply durability
+            self.client.host.stable.append(_WAL_LOG, {
+                "subject": subject,
+                "wire": encode(obj, self.client.registry,
+                               inline_types=True)})
+        oid = self.store.store(obj)
+        if self.store_subject:
+            self._subjects_by_oid[oid] = subject
+        self.captured += 1
+
+    def recover(self) -> None:
+        """Rebuild the in-memory database from the write-ahead log.
+
+        Resets the existing :class:`ObjectStore` *in place*, so query
+        servers and other holders of the store reference read the
+        recovered state, not a stale snapshot.
+        """
+        if not self.persistent:
+            return
+        self.store.reset(Database(f"{self.client.id}.capture"))
+        self.db = self.store.db
+        self._subjects_by_oid.clear()
+        self.replayed = 0
+        for record in self.client.host.stable.iter_log(_WAL_LOG):
+            obj = decode(record["wire"], self.client.registry)
+            oid = self.store.store(obj)
+            if self.store_subject:
+                self._subjects_by_oid[oid] = record["subject"]
+            self.replayed += 1
+
+    def subject_of(self, oid: str) -> Optional[str]:
+        return self._subjects_by_oid.get(oid)
+
+    def stop(self) -> None:
+        for subscription in self._subscriptions:
+            self.client.unsubscribe(subscription)
+        self._subscriptions = []

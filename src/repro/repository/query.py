@@ -1,0 +1,242 @@
+"""Predicate combinators for the relational engine.
+
+The engine has no SQL parser — queries are programmatic predicate trees,
+which is all the Object Repository's mapping layer needs.  Predicates
+evaluate against a row (a plain dict) and can report an equality
+constraint on a column so the planner can use a hash index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["And", "Contains", "Eq", "Ge", "Gt", "In", "Le", "Lt", "Ne",
+           "Not", "Or", "Predicate", "TRUE", "predicate_from_wire",
+           "predicate_to_wire"]
+
+Row = Dict[str, Any]
+
+
+class Predicate:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def index_hint(self) -> Optional[Tuple[str, Any]]:
+        """``(column, value)`` if this predicate pins a column to one
+        value (used by the planner); None otherwise."""
+        return None
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class _True(Predicate):
+    def matches(self, row: Row) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+#: The match-everything predicate.
+TRUE = _True()
+
+
+class _Comparison(Predicate):
+    op = "?"
+
+    def __init__(self, column: str, value: Any):
+        self.column = column
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+
+class Eq(_Comparison):
+    op = "="
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.column) == self.value
+
+    def index_hint(self) -> Optional[Tuple[str, Any]]:
+        return (self.column, self.value)
+
+
+class Ne(_Comparison):
+    op = "!="
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.column) != self.value
+
+
+class _Ordered(_Comparison):
+    def _cmp(self, row: Row) -> Optional[int]:
+        value = row.get(self.column)
+        if value is None:
+            return None
+        try:
+            if value < self.value:
+                return -1
+            if value > self.value:
+                return 1
+            return 0
+        except TypeError:
+            return None
+
+
+class Lt(_Ordered):
+    op = "<"
+
+    def matches(self, row: Row) -> bool:
+        return self._cmp(row) == -1
+
+
+class Le(_Ordered):
+    op = "<="
+
+    def matches(self, row: Row) -> bool:
+        return self._cmp(row) in (-1, 0)
+
+
+class Gt(_Ordered):
+    op = ">"
+
+    def matches(self, row: Row) -> bool:
+        return self._cmp(row) == 1
+
+
+class Ge(_Ordered):
+    op = ">="
+
+    def matches(self, row: Row) -> bool:
+        return self._cmp(row) in (0, 1)
+
+
+class In(Predicate):
+    """Column value is one of a fixed set."""
+
+    def __init__(self, column: str, values: Sequence[Any]):
+        self.column = column
+        self.values = set(values)
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.column) in self.values
+
+    def __repr__(self) -> str:
+        return f"({self.column} in {sorted(map(repr, self.values))})"
+
+
+class Contains(Predicate):
+    """Substring match on a text column (the Keyword Generator's friend)."""
+
+    def __init__(self, column: str, needle: str):
+        self.column = column
+        self.needle = needle
+
+    def matches(self, row: Row) -> bool:
+        value = row.get(self.column)
+        return isinstance(value, str) and self.needle in value
+
+    def __repr__(self) -> str:
+        return f"({self.column} contains {self.needle!r})"
+
+
+class And(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts: List[Predicate] = list(parts)
+
+    def matches(self, row: Row) -> bool:
+        return all(p.matches(row) for p in self.parts)
+
+    def index_hint(self) -> Optional[Tuple[str, Any]]:
+        for part in self.parts:
+            hint = part.index_hint()
+            if hint is not None:
+                return hint
+        return None
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    def __init__(self, *parts: Predicate):
+        self.parts: List[Predicate] = list(parts)
+
+    def matches(self, row: Row) -> bool:
+        return any(p.matches(row) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " or ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def matches(self, row: Row) -> bool:
+        return not self.part.matches(row)
+
+    def __repr__(self) -> str:
+        return f"(not {self.part!r})"
+
+
+# ----------------------------------------------------------------------
+# wire form (predicates over RMI)
+# ----------------------------------------------------------------------
+
+def predicate_to_wire(predicate: "Predicate") -> dict:
+    """A marshallable dict form of a predicate tree.
+
+    Lets clients ship rich query conditions to a repository query server
+    over RMI (see :meth:`repro.repository.query_server.QueryServer`).
+    """
+    if predicate is TRUE:
+        return {"op": "true"}
+    if isinstance(predicate, (And, Or)):
+        return {"op": "and" if isinstance(predicate, And) else "or",
+                "parts": [predicate_to_wire(p) for p in predicate.parts]}
+    if isinstance(predicate, Not):
+        return {"op": "not", "part": predicate_to_wire(predicate.part)}
+    if isinstance(predicate, In):
+        return {"op": "in", "column": predicate.column,
+                "values": sorted(predicate.values, key=repr)}
+    if isinstance(predicate, Contains):
+        return {"op": "contains", "column": predicate.column,
+                "value": predicate.needle}
+    if isinstance(predicate, _Comparison):
+        ops = {Eq: "eq", Ne: "ne", Lt: "lt", Le: "le", Gt: "gt", Ge: "ge"}
+        return {"op": ops[type(predicate)], "column": predicate.column,
+                "value": predicate.value}
+    raise ValueError(f"cannot serialize predicate {predicate!r}")
+
+
+def predicate_from_wire(data: dict) -> "Predicate":
+    """Inverse of :func:`predicate_to_wire`.  Raises on malformed input."""
+    if not isinstance(data, dict) or "op" not in data:
+        raise ValueError(f"malformed predicate wire form: {data!r}")
+    op = data["op"]
+    if op == "true":
+        return TRUE
+    if op in ("and", "or"):
+        parts = [predicate_from_wire(p) for p in data.get("parts", [])]
+        return And(*parts) if op == "and" else Or(*parts)
+    if op == "not":
+        return Not(predicate_from_wire(data["part"]))
+    if op == "in":
+        return In(data["column"], data["values"])
+    if op == "contains":
+        return Contains(data["column"], data["value"])
+    simple = {"eq": Eq, "ne": Ne, "lt": Lt, "le": Le, "gt": Gt, "ge": Ge}
+    if op in simple:
+        return simple[op](data["column"], data["value"])
+    raise ValueError(f"unknown predicate op {op!r}")

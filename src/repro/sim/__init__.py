@@ -1,0 +1,26 @@
+"""Discrete-event simulation substrate for the Information Bus reproduction.
+
+The paper's testbed — a 15-node SPARCstation LAN on 10 Mbit/s Ethernet —
+is replaced by this package: a deterministic event kernel
+(:class:`~repro.sim.kernel.Simulator`), fail-stop hosts
+(:class:`~repro.sim.node.Host`), a shared broadcast segment
+(:class:`~repro.sim.ethernet.EthernetSegment`), UDP-like and TCP-like
+transports (:mod:`repro.sim.transport`), and crash-surviving stable
+storage (:class:`~repro.sim.stable_storage.StableStore`).
+"""
+
+from .background import BackgroundTraffic
+from .kernel import Event, PeriodicTimer, SimError, Simulator
+from .network import BROADCAST, Address, CostModel, Frame
+from .node import Host, PortInUseError
+from .ethernet import EthernetSegment
+from .stable_storage import StableStore
+from .transport import DatagramSocket, Endpoint, StreamConnection, StreamManager
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Address", "BROADCAST", "BackgroundTraffic", "CostModel", "DatagramSocket", "Endpoint",
+    "EthernetSegment", "Event", "Frame", "Host", "PeriodicTimer",
+    "PortInUseError", "SimError", "Simulator", "StableStore",
+    "StreamConnection", "StreamManager", "TraceRecord", "Tracer",
+]

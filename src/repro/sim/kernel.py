@@ -1,0 +1,240 @@
+"""Discrete-event simulation kernel.
+
+Every distributed component in this reproduction (hosts, daemons, the
+Ethernet segment, protocol timers) runs on top of this kernel.  Simulated
+time is a ``float`` number of seconds starting at 0.0.  Events scheduled at
+the same instant fire in the order they were scheduled, which keeps runs
+fully deterministic for a given seed.
+
+The kernel is deliberately small: an event heap, cancellable timers, named
+RNG streams (so adding a new random consumer never perturbs existing ones),
+and a couple of run-loop variants (`run`, `run_until`, `step`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["Event", "Simulator", "SimError"]
+
+
+class SimError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, running twice, ...)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events are single-shot.  Cancelling an event that already fired (or was
+    already cancelled) is a no-op, which makes protocol cleanup code simple.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None],
+                 args: tuple, name: str = ""):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        label = self.name or getattr(self.callback, "__name__", "<fn>")
+        return f"<Event t={self.time:.6f} {label} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  All randomness in a simulation must come from
+        :meth:`rng` streams derived from this seed; two runs with the same
+        seed and the same schedule of calls are bit-identical.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._rngs: Dict[str, random.Random] = {}
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # time & randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def rng(self, stream: str) -> random.Random:
+        """Return the named RNG stream, creating it deterministically.
+
+        Streams are independent: the draw order in one stream never affects
+        another, so e.g. the Ethernet loss stream and an application's
+        workload stream cannot perturb each other.
+        """
+        rng = self._rngs.get(stream)
+        if rng is None:
+            rng = random.Random(f"{self.seed}/{stream}")
+            self._rngs[stream] = rng
+        return rng
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any, name: str = "") -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback, args, name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any, name: str = "") -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, callback, *args, name=name)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any,
+                  name: str = "") -> Event:
+        """Schedule ``callback`` at the current instant (after pending events)."""
+        return self.schedule(0.0, callback, *args, name=name)
+
+    # ------------------------------------------------------------------
+    # run loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event heap drains.  Returns the number of events fired.
+
+        ``max_events`` is a runaway guard: protocols with periodic timers
+        that never idle would otherwise spin forever.
+        """
+        if self._running:
+            raise SimError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while fired < max_events and not self._stopped:
+                if not self.step():
+                    break
+                fired += 1
+            else:
+                if fired >= max_events:
+                    raise SimError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False
+        return fired
+
+    def run_until(self, deadline: float, max_events: int = 10_000_000) -> int:
+        """Run events with ``time <= deadline``; leave later events queued.
+
+        After returning, :attr:`now` equals ``deadline`` even if the heap
+        drained earlier, so periodic measurement code can rely on it.
+        """
+        if self._running:
+            raise SimError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while fired < max_events and not self._stopped:
+                if not self._heap:
+                    break
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if nxt.time > deadline:
+                    break
+                self.step()
+                fired += 1
+            else:
+                if fired >= max_events:
+                    raise SimError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False
+            if self._now < deadline:
+                self._now = deadline
+        return fired
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` / :meth:`run_until` to return."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class PeriodicTimer:
+    """Fixed-interval timer that reschedules itself until stopped.
+
+    Useful for protocol heartbeats and polling loops.  The callback runs
+    first at ``sim.now + interval`` (or ``+ initial_delay`` if given).
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[[], None],
+                 initial_delay: Optional[float] = None, name: str = ""):
+        if interval <= 0:
+            raise SimError(f"interval must be positive (got {interval})")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._name = name or "periodic"
+        self._event: Optional[Event] = None
+        self._stopped = False
+        first = interval if initial_delay is None else initial_delay
+        self._event = sim.schedule(first, self._fire, name=self._name)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._event = self._sim.schedule(self._interval, self._fire,
+                                         name=self._name)
+        self._callback()
+
+    def stop(self) -> None:
+        """Cancel the timer.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+__all__.append("PeriodicTimer")

@@ -1,0 +1,120 @@
+"""Network primitives shared by the Ethernet segment and the transport layer.
+
+The unit moved on the wire is a :class:`Frame`.  Frames carry an opaque
+``payload`` (a Python object — the transport layer accounts for its size
+explicitly via ``size``) between host addresses.  ``dst=BROADCAST`` frames
+are delivered to every host attached to the segment, which is how the
+Information Bus gets its "one transmission, N receivers" property.
+
+The :class:`CostModel` captures the 1993 testbed's performance envelope:
+a 10 Mbit/s shared Ethernet and SPARCstation-2-class per-packet UDP socket
+overheads.  See DESIGN.md ("Calibration of the cost model").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["BROADCAST", "Frame", "CostModel", "Address"]
+
+#: Destination address meaning "every host on the segment".
+BROADCAST = "*"
+
+#: Host addresses are plain strings ("node03"); ports are small ints.
+Address = str
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One link-layer frame.
+
+    ``size`` is the payload size in bytes as accounted by the sender; the
+    wire adds :attr:`CostModel.frame_overhead` bytes of header/preamble on
+    top when computing transmission time.
+    """
+
+    src: Address
+    dst: Address           # a host address, or BROADCAST
+    src_port: int
+    dst_port: int
+    payload: Any
+    size: int
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"frame size must be >= 0 (got {self.size})")
+
+
+@dataclass
+class CostModel:
+    """Per-host CPU and wire costs, calibrated to the paper's Appendix.
+
+    All times are seconds; rates are bytes/second.  Defaults produce the
+    paper's shape: millisecond latencies, an effective UDP throughput
+    ceiling around 300 KB/s, and msgs/sec that falls with message size.
+    """
+
+    #: Wire bandwidth of the shared segment (10 Mbit/s Ethernet).
+    bandwidth_bytes_per_sec: float = 10_000_000 / 8
+    #: Speed-of-light + repeater delay across the segment.
+    propagation_delay: float = 15e-6
+    #: Link-layer header + preamble + CRC accounted per frame on the wire.
+    frame_overhead: int = 34
+    #: Largest payload carried in one frame; datagrams fragment above this.
+    mtu: int = 1472
+
+    #: Host CPU cost to push one packet through the UDP stack (send side).
+    cpu_send_per_packet: float = 400e-6
+    #: Host CPU cost per payload byte on the send side (copies, checksum).
+    #: 2.5 µs/byte yields the ~300 KB/s raw-UDP ceiling the paper reports
+    #: for SPARCstation-2-class hosts.
+    cpu_send_per_byte: float = 2.5e-6
+    #: Host CPU cost to receive one packet (interrupt, socket wakeup).
+    cpu_recv_per_packet: float = 250e-6
+    #: Host CPU cost per payload byte on the receive side.
+    cpu_recv_per_byte: float = 1.0e-6
+
+    #: Relative jitter on per-packet CPU costs (scheduler noise, cache
+    #: effects).  Gives latency samples the nonzero variance the paper's
+    #: Figure 5 confidence intervals reflect.
+    cpu_jitter: float = 0.05
+
+    #: Probability an individual receiver drops a frame (light load).
+    loss_probability: float = 1e-4
+    #: Probability a receiver sees a frame twice (duplicated in the stack).
+    duplicate_probability: float = 0.0
+    #: Max extra random delivery delay per receiver; >0 permits reordering.
+    reorder_jitter: float = 0.0
+
+    def wire_time(self, size: int) -> float:
+        """Transmission time for a payload of ``size`` bytes on the medium."""
+        return (size + self.frame_overhead) / self.bandwidth_bytes_per_sec
+
+    def send_cpu_time(self, size: int) -> float:
+        """Host CPU time to emit one packet of ``size`` payload bytes."""
+        return self.cpu_send_per_packet + size * self.cpu_send_per_byte
+
+    def recv_cpu_time(self, size: int) -> float:
+        """Host CPU time to absorb one packet of ``size`` payload bytes."""
+        return self.cpu_recv_per_packet + size * self.cpu_recv_per_byte
+
+    @classmethod
+    def ideal(cls) -> "CostModel":
+        """A lossless, near-zero-cost model for protocol-logic tests."""
+        return cls(
+            bandwidth_bytes_per_sec=1e12,
+            propagation_delay=1e-6,
+            cpu_send_per_packet=1e-6,
+            cpu_send_per_byte=0.0,
+            cpu_recv_per_packet=1e-6,
+            cpu_recv_per_byte=0.0,
+            cpu_jitter=0.0,
+            loss_probability=0.0,
+            duplicate_probability=0.0,
+            reorder_jitter=0.0,
+        )

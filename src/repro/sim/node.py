@@ -1,0 +1,164 @@
+"""Fail-stop hosts.
+
+A :class:`Host` models one workstation: it owns a CPU (serialized send and
+receive processing per the :class:`~repro.sim.network.CostModel`), a set of
+bound ports, crash/recover state, and a :class:`~repro.sim.stable_storage.
+StableStore` that survives crashes.
+
+Failure semantics follow Section 2 of the paper: fail-stop only.  A crashed
+host silently drops every frame addressed to it and everything queued in its
+CPU pipelines; volatile listener state is the owning protocol's problem
+(protocols re-register on the recovery callback).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from .kernel import Simulator
+from .network import Address, CostModel, Frame
+from .stable_storage import StableStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .ethernet import EthernetSegment
+
+__all__ = ["Host", "PortInUseError"]
+
+
+class PortInUseError(RuntimeError):
+    """Raised when binding a port that already has a listener."""
+
+
+class Host:
+    """One fail-stop workstation attached to an Ethernet segment."""
+
+    def __init__(self, sim: Simulator, address: Address,
+                 cost: Optional[CostModel] = None):
+        self.sim = sim
+        self.address = address
+        self.cost = cost or CostModel()
+        self.segment: Optional["EthernetSegment"] = None
+        self.stable = StableStore()
+        self._up = True
+        #: epoch increments on every crash; stale deliveries check it
+        self.epoch = 0
+        self._ports: Dict[int, Callable[[Frame], None]] = {}
+        self._send_ready_at = 0.0   # CPU send pipeline is serialized
+        self._recv_ready_at = 0.0   # so is receive processing
+        self._crash_listeners: List[Callable[[], None]] = []
+        self._recover_listeners: List[Callable[[], None]] = []
+        # traffic counters (used by benches)
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    def crash(self) -> None:
+        """Fail-stop: lose all volatile state, stop sending and receiving."""
+        if not self._up:
+            return
+        self._up = False
+        self.epoch += 1
+        self._ports.clear()
+        self._send_ready_at = self.sim.now
+        self._recv_ready_at = self.sim.now
+        for listener in list(self._crash_listeners):
+            listener()
+
+    def recover(self) -> None:
+        """Restart the host.  Stable storage is intact; ports are empty."""
+        if self._up:
+            return
+        self._up = True
+        for listener in list(self._recover_listeners):
+            listener()
+
+    def on_crash(self, listener: Callable[[], None]) -> None:
+        self._crash_listeners.append(listener)
+
+    def on_recover(self, listener: Callable[[], None]) -> None:
+        self._recover_listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def bind(self, port: int, handler: Callable[[Frame], None]) -> None:
+        """Attach ``handler`` to ``port``.  One listener per port."""
+        if port in self._ports:
+            raise PortInUseError(f"{self.address}: port {port} already bound")
+        self._ports[port] = handler
+
+    def unbind(self, port: int) -> None:
+        self._ports.pop(port, None)
+
+    def port_bound(self, port: int) -> bool:
+        return port in self._ports
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+    def _jitter(self) -> float:
+        """Per-packet CPU-cost noise factor (scheduler/cache effects)."""
+        if self.cost.cpu_jitter <= 0:
+            return 1.0
+        u = self.sim.rng(f"cpu.{self.address}").random()
+        return 1.0 + self.cost.cpu_jitter * (2.0 * u - 1.0)
+
+    def send_frame(self, frame: Frame) -> float:
+        """Push ``frame`` through the CPU send pipeline onto the segment.
+
+        Returns the simulated time at which the frame reaches the wire.
+        Raises if the host is down or detached from a segment.
+        """
+        if not self._up:
+            raise RuntimeError(f"{self.address} is down")
+        if self.segment is None:
+            raise RuntimeError(f"{self.address} is not attached to a segment")
+        cpu = self.cost.send_cpu_time(frame.size) * self._jitter()
+        start = max(self.sim.now, self._send_ready_at)
+        done = start + cpu
+        self._send_ready_at = done
+        self.frames_sent += 1
+        self.bytes_sent += frame.size
+        epoch = self.epoch
+        segment = self.segment
+
+        def _to_wire() -> None:
+            # a crash between enqueue and wire kills the frame
+            if self._up and self.epoch == epoch:
+                segment.transmit(frame)
+
+        self.sim.schedule(done - self.sim.now, _to_wire, name="host.send")
+        return done
+
+    def deliver_frame(self, frame: Frame) -> None:
+        """Called by the segment when a frame arrives at this host's NIC."""
+        if not self._up:
+            return
+        cpu = self.cost.recv_cpu_time(frame.size) * self._jitter()
+        start = max(self.sim.now, self._recv_ready_at)
+        done = start + cpu
+        self._recv_ready_at = done
+        epoch = self.epoch
+
+        def _to_socket() -> None:
+            if not self._up or self.epoch != epoch:
+                return
+            handler = self._ports.get(frame.dst_port)
+            if handler is not None:
+                self.frames_received += 1
+                self.bytes_received += frame.size
+                handler(frame)
+
+        self.sim.schedule(done - self.sim.now, _to_socket, name="host.recv")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self._up else "DOWN"
+        return f"<Host {self.address} {state}>"

@@ -1,0 +1,66 @@
+"""Structured event tracing for simulations.
+
+Protocols emit trace records (a timestamped category + fields dict); tests
+and benches query them afterwards.  Tracing defaults to off so the hot path
+costs one attribute check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass
+class TraceRecord:
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects, optionally filtered."""
+
+    def __init__(self, enabled: bool = False,
+                 categories: Optional[List[str]] = None):
+        self.enabled = enabled
+        self._categories = set(categories) if categories else None
+        self.records: List[TraceRecord] = []
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def emit(self, time: float, category: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._categories is not None and category not in self._categories:
+            return
+        record = TraceRecord(time, category, fields)
+        self.records.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        self._listeners.append(listener)
+
+    def select(self, category: str, **match: Any) -> List[TraceRecord]:
+        """Records of ``category`` whose fields equal every ``match`` item."""
+        out = []
+        for record in self.records:
+            if record.category != category:
+                continue
+            if all(record.fields.get(k) == v for k, v in match.items()):
+                out.append(record)
+        return out
+
+    def count(self, category: str, **match: Any) -> int:
+        return len(self.select(category, **match))
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,5 @@
+"""``python -m repro.tdl`` — the interactive TDL REPL."""
+
+from .repl import main
+
+raise SystemExit(main())

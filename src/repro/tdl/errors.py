@@ -1,0 +1,26 @@
+"""TDL error hierarchy."""
+
+from __future__ import annotations
+
+__all__ = ["TdlError", "TdlSyntaxError", "TdlNameError", "TdlDispatchError",
+           "TdlArityError"]
+
+
+class TdlError(Exception):
+    """Base class for all TDL errors."""
+
+
+class TdlSyntaxError(TdlError):
+    """Malformed source text or special form."""
+
+
+class TdlNameError(TdlError):
+    """Reference to an unbound symbol."""
+
+
+class TdlDispatchError(TdlError):
+    """No applicable method for a generic function call."""
+
+
+class TdlArityError(TdlError):
+    """Wrong number of arguments to a function or form."""

@@ -1,0 +1,165 @@
+"""Tests for the news feeds and vendor adapters (Figure 3)."""
+
+import pytest
+
+from repro.adapters import (DowJonesAdapter, DowJonesFeed, ReutersAdapter,
+                            ReutersFeed, register_news_types)
+from repro.core import InformationBus
+from repro.sim import CostModel, Simulator
+
+
+@pytest.fixture
+def bus():
+    b = InformationBus(seed=1, cost=CostModel.ideal())
+    b.add_hosts(3)
+    return b
+
+
+# ----------------------------------------------------------------------
+# feed generators
+# ----------------------------------------------------------------------
+
+def test_feeds_emit_on_schedule():
+    sim = Simulator(seed=2)
+    dj_raw, rtr_raw = [], []
+    DowJonesFeed(sim, dj_raw.append, interval=0.5)
+    ReutersFeed(sim, rtr_raw.append, interval=1.0)
+    sim.run_until(5.0)
+    assert len(dj_raw) == 10
+    assert len(rtr_raw) == 5
+
+
+def test_feeds_are_deterministic():
+    def run():
+        sim = Simulator(seed=3)
+        out = []
+        DowJonesFeed(sim, out.append, interval=0.5)
+        sim.run_until(3.0)
+        return out
+    assert run() == run()
+
+
+def test_feed_stop():
+    sim = Simulator(seed=4)
+    out = []
+    feed = DowJonesFeed(sim, out.append, interval=0.5)
+    sim.run_until(1.2)
+    feed.stop()
+    sim.run_until(5.0)
+    assert len(out) == 2
+
+
+def test_vendor_formats_differ():
+    sim = Simulator(seed=5)
+    dj, rtr = [], []
+    DowJonesFeed(sim, dj.append, interval=0.5)
+    ReutersFeed(sim, rtr.append, interval=0.5)
+    sim.run_until(1.0)
+    assert dj[0].startswith("DJ|")
+    assert rtr[0].startswith("RTR ")
+    assert "\n" in rtr[0] and "\n" not in dj[0]
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+def test_dowjones_parse_full_record(bus):
+    adapter = DowJonesAdapter(bus.client("node00", "dj"))
+    raw = ("DJ|DJ000001|equity|gmc|GM rises on earnings|Body text."
+           "|IG:autos,semis|CC:us,jp|PG:N3")
+    story = adapter.parse(raw)
+    assert story.type_name == "dowjones_story"
+    assert story.is_a("story")
+    assert story.get("djcode") == "DJ000001"
+    assert story.get("topic") == "gmc"
+    assert story.get("industry_groups") == ["autos", "semis"]
+    assert story.get("country_codes") == ["us", "jp"]
+    assert story.get("page") == "N3"
+    assert story.get("sources") == ["Dow Jones"]
+
+
+@pytest.mark.parametrize("junk", [
+    "", "garbage", "RTR not dj", "DJ|onlythree|fields",
+    "DJ||equity|gmc|headline|body",       # empty code
+])
+def test_dowjones_rejects_junk(bus, junk):
+    adapter = DowJonesAdapter(bus.client("node00", "dj"))
+    assert adapter.parse(junk) is None
+    assert adapter.errors == 1
+
+
+def test_reuters_parse_full_record(bus):
+    adapter = ReutersAdapter(bus.client("node00", "rtr"))
+    raw = "\n".join([
+        "RTR GMC.N P2",
+        "CAT: equity",
+        "TOP: gmc",
+        "HEADLINE: GM rallies on export data",
+        "BODY: Some body.",
+        "GROUPS: autos;tech",
+        "COUNTRY: us",
+        "ENDS",
+    ])
+    story = adapter.parse(raw)
+    assert story.type_name == "reuters_story"
+    assert story.get("ric") == "GMC.N"
+    assert story.get("priority") == 2
+    assert story.get("industry_groups") == ["autos", "tech"]
+
+
+@pytest.mark.parametrize("junk", [
+    "", "DJ|nope", "RTR GMC.N", "RTR GMC.N Px\nCAT: equity",
+    "RTR GMC.N P1\nCAT: equity\nbadline\nENDS",
+    "RTR GMC.N P1\nCAT: equity\nENDS",    # missing TOP/HEADLINE
+])
+def test_reuters_rejects_junk(bus, junk):
+    adapter = ReutersAdapter(bus.client("node00", "rtr"))
+    assert adapter.parse(junk) is None
+    assert adapter.errors == 1
+
+
+# ----------------------------------------------------------------------
+# end-to-end: feeds -> adapters -> bus -> subscriber
+# ----------------------------------------------------------------------
+
+def test_both_adapters_publish_common_supertype(bus):
+    dj_adapter = DowJonesAdapter(bus.client("node00", "dj"))
+    rtr_adapter = ReutersAdapter(bus.client("node01", "rtr"))
+    dj_feed = DowJonesFeed(bus.sim, dj_adapter.feed_sink, interval=0.5)
+    rtr_feed = ReutersFeed(bus.sim, rtr_adapter.feed_sink, interval=0.7)
+    received = []
+    monitor = bus.client("node02", "monitor")
+    monitor.subscribe("news.>", lambda s, o, i: received.append((s, o)))
+    bus.run_for(5.0)
+    dj_feed.stop()
+    rtr_feed.stop()
+    bus.settle()
+    assert dj_adapter.inbound > 0 and rtr_adapter.inbound > 0
+    assert len(received) == dj_adapter.inbound + rtr_adapter.inbound
+    types = {o.type_name for _, o in received}
+    assert types == {"dowjones_story", "reuters_story"}
+    # the monitor can treat them all as the common supertype (P2)
+    assert all(o.is_a("story") for _, o in received)
+    # subjects carry the story's primary topic
+    assert all(s == f"news.{o.get('category')}.{o.get('topic')}"
+               for s, o in received)
+
+
+def test_subscriber_can_filter_by_category(bus):
+    adapter = DowJonesAdapter(bus.client("node00", "dj"))
+    DowJonesFeed(bus.sim, adapter.feed_sink, interval=0.3)
+    equity_only = []
+    bus.client("node01", "mon").subscribe(
+        "news.equity.*", lambda s, o, i: equity_only.append(o))
+    bus.run_for(6.0)
+    bus.settle()
+    assert equity_only
+    assert all(o.get("category") == "equity" for o in equity_only)
+
+
+def test_register_news_types_idempotent(bus):
+    client = bus.client("node00", "x")
+    register_news_types(client.registry)
+    register_news_types(client.registry)
+    assert client.registry.is_subtype("reuters_story", "story")

@@ -1,0 +1,72 @@
+"""Unit tests for the Appendix experiment harness (small scale)."""
+
+import pytest
+
+from repro.bench import AppendixExperiment
+
+
+def test_throughput_run_delivers_everything():
+    experiment = AppendixExperiment(seed=1, nodes=4, consumers=3)
+    result = experiment.run_throughput(256, 80)
+    assert result.consumers == 3
+    assert result.per_consumer_received == [80, 80, 80]
+    assert result.delivery_ratio == 1.0
+    assert result.msgs_per_sec > 0
+    assert result.bytes_per_sec == result.msgs_per_sec * 256
+    assert result.cumulative_msgs_per_sec == pytest.approx(
+        sum(result.per_consumer_msgs_per_sec))
+    assert result.duration > 0
+
+
+def test_latency_run_collects_all_samples():
+    experiment = AppendixExperiment(seed=2, nodes=3, consumers=2)
+    result = experiment.run_latency(128, samples=10, interval=0.05)
+    assert len(result.latencies) == 10 * 2
+    summary = result.summary()
+    assert 0 < summary.mean < 0.1          # milliseconds scale
+    assert result.mean_ms == pytest.approx(summary.mean * 1000)
+    assert result.variance_ms >= 0
+
+
+def test_runs_are_deterministic_for_a_seed():
+    def run():
+        return AppendixExperiment(seed=3, nodes=4,
+                                  consumers=3).run_throughput(128, 40)
+    a, b = run(), run()
+    assert a.per_consumer_msgs_per_sec == b.per_consumer_msgs_per_sec
+    assert a.duration == b.duration
+
+
+def test_different_seeds_differ():
+    a = AppendixExperiment(seed=4, nodes=4, consumers=3).run_latency(
+        256, samples=5)
+    b = AppendixExperiment(seed=5, nodes=4, consumers=3).run_latency(
+        256, samples=5)
+    assert a.latencies != b.latencies      # CPU jitter differs per seed
+
+
+def test_unicast_fanout_counts_per_consumer():
+    experiment = AppendixExperiment(seed=6, nodes=4, consumers=3,
+                                    unicast_fanout=True)
+    result = experiment.run_throughput(128, 20)
+    assert result.per_consumer_received == [20, 20, 20]
+    assert result.delivery_ratio == 1.0
+
+
+def test_multi_subject_round_robin():
+    experiment = AppendixExperiment(seed=7, nodes=4, consumers=3)
+    result = experiment.run_throughput(128, 30, subjects=10)
+    assert result.subjects == 10
+    assert result.delivery_ratio == 1.0
+
+
+def test_batching_off_is_slower_for_small_messages():
+    experiment = AppendixExperiment(seed=8, nodes=4, consumers=3)
+    on = experiment.run_throughput(64, 150, batching=True)
+    off = experiment.run_throughput(64, 150, batching=False)
+    assert on.msgs_per_sec > off.msgs_per_sec
+
+
+def test_publisher_needs_a_node():
+    with pytest.raises(ValueError):
+        AppendixExperiment(nodes=3, consumers=3)

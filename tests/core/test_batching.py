@@ -1,0 +1,100 @@
+"""Unit tests for the outbound batcher."""
+
+from repro.core import BatchConfig, Batcher, Envelope, QoS
+from repro.sim import Simulator
+
+
+def envelope(size_payload=50, subject="a.b"):
+    return Envelope(subject=subject, sender="x", session="s#0", seq=0,
+                    payload=b"\x00" * size_payload, qos=QoS.RELIABLE)
+
+
+def make_batcher(sim, enabled=True, batch_bytes=300, batch_delay=0.01,
+                 max_messages=64):
+    batches = []
+    config = BatchConfig(enabled=enabled, batch_bytes=batch_bytes,
+                         batch_delay=batch_delay,
+                         max_messages=max_messages)
+    return Batcher(sim, config, batches.append), batches
+
+
+def test_disabled_batcher_passes_through():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, enabled=False)
+    batcher.add(envelope())
+    batcher.add(envelope())
+    assert [len(b) for b in batches] == [1, 1]
+    assert batcher.messages_batched == 2
+
+
+def test_size_threshold_flushes_synchronously():
+    sim = Simulator()
+    # each envelope ~101 bytes (48 header + 3 subject + 50 payload)
+    batcher, batches = make_batcher(sim, batch_bytes=300)
+    batcher.add(envelope())
+    batcher.add(envelope())
+    assert batches == []              # still under threshold
+    batcher.add(envelope())           # crosses 300 accumulated bytes
+    assert len(batches) == 1
+    assert len(batches[0]) == 3
+    assert batcher.pending == 0
+
+
+def test_delay_flushes_small_batches():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, batch_delay=0.01)
+    batcher.add(envelope())
+    assert batches == []
+    sim.run_until(0.02)
+    assert [len(b) for b in batches] == [1]
+
+
+def test_timer_measured_from_first_message():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, batch_delay=0.01)
+    batcher.add(envelope())
+    sim.run_until(0.005)
+    batcher.add(envelope())           # does NOT restart the clock
+    sim.run_until(0.011)
+    assert [len(b) for b in batches] == [2]
+
+
+def test_max_messages_cap():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, batch_bytes=10**9, max_messages=4)
+    for _ in range(9):
+        batcher.add(envelope(size_payload=1))
+    assert [len(b) for b in batches] == [4, 4]
+    assert batcher.pending == 1
+
+
+def test_manual_flush_and_empty_flush():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim)
+    batcher.flush()                   # empty: no callback
+    assert batches == []
+    batcher.add(envelope())
+    batcher.flush()
+    assert [len(b) for b in batches] == [1]
+    sim.run_until(1.0)                # the pending timer was cancelled
+    assert len(batches) == 1
+
+
+def test_shutdown_drops_queued():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim)
+    batcher.add(envelope())
+    batcher.shutdown()
+    sim.run_until(1.0)
+    assert batches == []
+    assert batcher.pending == 0
+
+
+def test_counters():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, batch_bytes=150)
+    for _ in range(4):
+        batcher.add(envelope())
+    batcher.flush()
+    assert batcher.messages_batched == 4
+    assert batcher.batches_flushed == len(batches)

@@ -1,0 +1,146 @@
+"""Daemon-level tests: tracing, counters, advertisement, edge cases."""
+
+import pytest
+
+from repro.core import (ADVERT_SUBJECT, BusConfig, InformationBus, QoS,
+                        validate_subject)
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           standard_registry)
+from repro.sim import CostModel, Tracer
+
+
+def story_registry():
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "story", attributes=[AttributeSpec("n", "int")]))
+    return reg
+
+
+def test_tracer_records_publish_events():
+    tracer = Tracer(enabled=True)
+    bus = InformationBus(seed=1, cost=CostModel.ideal(), tracer=tracer)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    bus.client("node01", "mon").subscribe("t.>", lambda *a: None)
+    pub.publish("t.x", DataObject(reg, "story", n=1))
+    bus.settle(1.0)
+    publishes = tracer.select("publish", subject="t.x")
+    assert len(publishes) == 1
+    assert publishes[0]["size"] > 0
+
+
+def test_tracer_records_nack_and_retransmit():
+    tracer = Tracer(enabled=True)
+    cost = CostModel.ideal()
+    bus = InformationBus(seed=2, cost=cost, tracer=tracer)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    bus.client("node01", "mon").subscribe("t.>", lambda *a: None)
+    pub.publish("t.x", DataObject(reg, "story", n=0))
+    bus.settle(0.5)
+    cost.loss_probability = 1.0
+    pub.publish("t.x", DataObject(reg, "story", n=1))
+    bus.run_for(0.001)
+    cost.loss_probability = 0.0
+    pub.publish("t.x", DataObject(reg, "story", n=2))
+    bus.settle(2.0)
+    assert tracer.count("nack") >= 1
+    assert tracer.count("retransmit") >= 1
+
+
+def test_daemon_counters():
+    bus = InformationBus(seed=3, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    bus.client("node01", "mon").subscribe("c.>", lambda *a: None)
+    for n in range(3):
+        pub.publish("c.x", DataObject(reg, "story", n=n))
+    bus.settle(1.0)
+    assert bus.daemon("node00").published == 3
+    assert bus.daemon("node01").delivered == 3
+    assert bus.daemon("node01").subscription_count() == 1
+
+
+def test_subscription_advertisement_on_wire():
+    bus = InformationBus(seed=4, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    adverts = []
+    watcher = bus.client("node00", "watcher")
+    watcher.subscribe(ADVERT_SUBJECT,
+                      lambda s, o, i: adverts.append(o))
+    mon = bus.client("node01", "mon")
+    sub = mon.subscribe("news.equity.*", lambda *a: None)
+    bus.run_for(0.5)
+    assert any(a["action"] == "add" and "news.equity.*" in a["patterns"]
+               for a in adverts)
+    mon.unsubscribe(sub)
+    bus.run_for(0.5)
+    assert any(a["action"] == "remove" and
+               "news.equity.*" in a["patterns"] for a in adverts)
+
+
+def test_reserved_patterns_not_advertised():
+    bus = InformationBus(seed=5, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    adverts = []
+    bus.client("node00", "watcher").subscribe(
+        ADVERT_SUBJECT, lambda s, o, i: adverts.append(o))
+    bus.client("node01", "mon").subscribe("_private.stuff",
+                                          lambda *a: None)
+    bus.run_for(3.0)   # would include a snapshot if it were advertisable
+    assert all("_private.stuff" not in a.get("patterns", [])
+               for a in adverts)
+
+
+def test_snapshot_advertisement_repeats():
+    config = BusConfig()
+    config.advert_interval = 0.5
+    bus = InformationBus(seed=6, cost=CostModel.ideal(), config=config)
+    bus.add_hosts(2)
+    adverts = []
+    bus.client("node00", "watcher").subscribe(
+        ADVERT_SUBJECT, lambda s, o, i: adverts.append(o))
+    bus.client("node01", "mon").subscribe("snap.>", lambda *a: None)
+    bus.run_for(2.2)
+    snapshots = [a for a in adverts if a["action"] == "snapshot"]
+    assert len(snapshots) >= 3
+    assert all(a["patterns"] == ["snap.>"] for a in snapshots)
+
+
+def test_flush_forces_batched_messages_out():
+    config = BusConfig()
+    config.batch.enabled = True
+    config.batch.batch_delay = 60.0       # effectively never
+    config.batch.batch_bytes = 10**9
+    # quiet the heartbeat too: otherwise receivers learn the stamped seq
+    # and "repair" the batched message out of retention early
+    config.reliable.heartbeat_interval = 120.0
+    bus = InformationBus(seed=7, cost=CostModel.ideal(), config=config)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    got = []
+    bus.client("node01", "mon").subscribe("f.>",
+                                          lambda s, o, i: got.append(o))
+    pub.publish("f.x", DataObject(reg, "story", n=1))
+    bus.run_for(1.0)
+    assert got == []                      # held by the batcher
+    bus.daemon("node00").flush()
+    bus.run_for(1.0)
+    assert len(got) == 1
+
+
+def test_max_depth_subject_accepted():
+    deep = ".".join(["x"] * 32)
+    assert validate_subject(deep)
+    bus = InformationBus(seed=8, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    got = []
+    bus.client("node01", "mon").subscribe(deep, lambda s, o, i:
+                                          got.append(s))
+    bus.client("node00", "feed").publish(deep, 1)
+    bus.settle(1.0)
+    assert got == [deep]

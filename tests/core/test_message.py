@@ -1,0 +1,47 @@
+"""Unit tests for envelopes, packets, and size accounting."""
+
+from repro.core import (ENVELOPE_HEADER, Envelope, PACKET_HEADER, Packet,
+                        PacketKind, QoS)
+
+
+def envelope(subject="a.b", payload=b"x" * 10):
+    return Envelope(subject=subject, sender="h.app", session="h#0", seq=1,
+                    payload=payload)
+
+
+def test_envelope_size_accounting():
+    e = envelope(subject="news.equity.gmc", payload=b"x" * 100)
+    assert e.size == ENVELOPE_HEADER + len("news.equity.gmc") + 100
+
+
+def test_packet_size_sums_envelopes():
+    envelopes = [envelope(), envelope(subject="c.d", payload=b"y" * 20)]
+    packet = Packet(PacketKind.DATA, "h#0", envelopes)
+    assert packet.size == PACKET_HEADER + sum(e.size for e in envelopes)
+
+
+def test_empty_packet_is_header_only():
+    packet = Packet(PacketKind.HEARTBEAT, "h#0", last_seq=7)
+    assert packet.size == PACKET_HEADER
+    assert packet.last_seq == 7
+
+
+def test_envelope_defaults():
+    e = envelope()
+    assert e.qos is QoS.RELIABLE
+    assert e.ledger_id is None
+    assert e.via == ()
+    assert e.envelope_id > 0
+
+
+def test_envelope_ids_are_unique():
+    assert envelope().envelope_id != envelope().envelope_id
+
+
+def test_message_info_latency():
+    from repro.core import MessageInfo
+    info = MessageInfo(subject="a.b", sender="x", session="h#0", seq=1,
+                       qos=QoS.RELIABLE, publish_time=1.0,
+                       deliver_time=1.25, size=10)
+    assert info.latency == 0.25
+    assert info.via == ()

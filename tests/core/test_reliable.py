@@ -1,0 +1,310 @@
+"""Delivery-semantics tests under loss, duplication, crashes, partitions.
+
+Section 2's failure model: the network "may lose, delay, and duplicate
+messages, or deliver messages out of order"; nodes are fail-stop and
+eventually recover.  Section 3.1 defines what reliable delivery must do
+in each case.
+"""
+
+import pytest
+
+from repro.core import BusConfig, InformationBus, QoS
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           standard_registry)
+from repro.sim import CostModel
+
+
+def lossy_cost(loss=0.05, dup=0.0, jitter=0.0):
+    cost = CostModel.ideal()
+    cost.loss_probability = loss
+    cost.duplicate_probability = dup
+    cost.reorder_jitter = jitter
+    return cost
+
+
+def story_registry():
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "story", attributes=[AttributeSpec("n", "int")]))
+    return reg
+
+
+def run_stream(bus, count=200, subject="rel.test"):
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "rel.>", lambda s, o, i: received.append(o.get("n")))
+    for i in range(count):
+        pub.publish(subject, DataObject(reg, "story", n=i))
+    bus.settle(5.0)
+    return received
+
+
+def test_exactly_once_in_order_under_loss():
+    bus = InformationBus(seed=7, cost=lossy_cost(loss=0.05))
+    bus.add_hosts(3)
+    received = run_stream(bus, 200)
+    assert received == list(range(200))   # every message, once, in order
+
+
+def test_exactly_once_under_duplication():
+    bus = InformationBus(seed=8, cost=lossy_cost(loss=0.0, dup=0.3))
+    bus.add_hosts(3)
+    received = run_stream(bus, 100)
+    assert received == list(range(100))
+
+
+def test_in_order_under_reordering():
+    bus = InformationBus(seed=9, cost=lossy_cost(loss=0.02, jitter=0.004))
+    bus.add_hosts(3)
+    received = run_stream(bus, 150)
+    assert received == list(range(150))
+
+
+def test_loss_of_final_message_repaired_via_heartbeat():
+    """Without heartbeats a lost *last* message would never be NACKed."""
+    cost = CostModel.ideal()
+    bus = InformationBus(seed=3, cost=cost)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "hb.>", lambda s, o, i: received.append(o.get("n")))
+    pub.publish("hb.x", DataObject(reg, "story", n=0))
+    bus.settle(1.0)
+    # force-drop exactly the next publication
+    cost.loss_probability = 1.0
+    pub.publish("hb.x", DataObject(reg, "story", n=1))
+    bus.run_for(0.01)
+    cost.loss_probability = 0.0
+    bus.run_for(3.0)   # heartbeat reveals the gap; NACK repairs it
+    assert received == [0, 1]
+
+
+def test_at_most_once_when_sender_crashes():
+    """A crashed sender cannot repair; receivers skip the gap (no dupes,
+    no stall)."""
+    cost = CostModel.ideal()
+    bus = InformationBus(seed=4, cost=cost)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "crash.>", lambda s, o, i: received.append(o.get("n")))
+    pub.publish("crash.x", DataObject(reg, "story", n=0))
+    bus.settle(0.5)
+    cost.loss_probability = 1.0     # message 1 vanishes
+    pub.publish("crash.x", DataObject(reg, "story", n=1))
+    bus.run_for(0.001)
+    cost.loss_probability = 0.0
+    pub.publish("crash.x", DataObject(reg, "story", n=2))   # creates the gap
+    bus.run_for(0.001)
+    bus.crash_host("node00")        # sender gone; NACKs go unanswered
+    bus.run_for(10.0)
+    assert received == [0, 2]       # 1 lost: at-most-once, order preserved
+    stats = bus.daemon("node01").reliable_stats("node00#0")
+    assert stats.gaps_skipped == 1
+    assert stats.messages_lost == 1
+
+
+def test_sender_recovery_starts_fresh_session():
+    bus = InformationBus(seed=5, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "sess.>", lambda s, o, i: received.append((i.session, o.get("n"))))
+    pub.publish("sess.x", DataObject(reg, "story", n=0))
+    bus.settle(0.5)
+    bus.crash_host("node00")
+    bus.run_for(0.5)
+    bus.recover_host("node00")
+    pub.publish("sess.x", DataObject(reg, "story", n=1))
+    bus.settle(0.5)
+    sessions = [s for s, _ in received]
+    assert sessions == ["node00#0", "node00#1"]
+    assert [n for _, n in received] == [0, 1]
+
+
+def test_receiver_crash_loses_messages_not_order():
+    bus = InformationBus(seed=6, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    mon = bus.client("node01", "mon")
+    mon.subscribe("rx.>", lambda s, o, i: received.append(o.get("n")))
+    pub.publish("rx.x", DataObject(reg, "story", n=0))
+    bus.settle(0.5)
+    bus.crash_host("node01")
+    pub.publish("rx.x", DataObject(reg, "story", n=1))   # while down
+    bus.settle(0.5)
+    bus.recover_host("node01")   # auto_restart re-attaches subscriptions
+    pub.publish("rx.x", DataObject(reg, "story", n=2))
+    bus.settle(0.5)
+    assert received == [0, 2]    # missed 1 while down; at-most-once
+
+
+def test_partition_and_heal():
+    bus = InformationBus(seed=10, cost=lossy_cost(loss=0.01))
+    bus.add_hosts(3)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "part.>", lambda s, o, i: received.append(o.get("n")))
+    pub.publish("part.x", DataObject(reg, "story", n=0))
+    bus.settle(1.0)
+    bus.partition({"node00"}, {"node01", "node02"})
+    pub.publish("part.x", DataObject(reg, "story", n=1))
+    bus.settle(1.0)
+    assert received == [0]
+    bus.heal()
+    bus.run_for(3.0)
+    # short partition: retention still holds message 1; heartbeat-triggered
+    # NACK repairs it after healing — "if ... the network does not suffer
+    # a long-term partition ... exactly once"
+    pub.publish("part.x", DataObject(reg, "story", n=2))
+    bus.settle(3.0)
+    assert received == [0, 1, 2]
+
+
+def test_long_partition_degrades_to_at_most_once():
+    config = BusConfig()
+    config.reliable.retention = 4   # tiny retention: long partitions lose
+    bus = InformationBus(seed=11, cost=CostModel.ideal(), config=config)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "lp.>", lambda s, o, i: received.append(o.get("n")))
+    pub.publish("lp.x", DataObject(reg, "story", n=0))
+    bus.settle(1.0)
+    bus.partition({"node00"}, {"node01"})
+    for n in range(1, 11):   # 10 messages vanish beyond retention
+        pub.publish("lp.x", DataObject(reg, "story", n=n))
+    bus.settle(1.0)
+    bus.heal()
+    pub.publish("lp.x", DataObject(reg, "story", n=11))
+    bus.settle(15.0)   # enough for the receiver to exhaust NACK patience
+    assert received[0] == 0
+    assert received[-1] == 11
+    assert len(received) < 12            # something was lost
+    assert received == sorted(received)  # but order never violated
+
+
+def test_retransmission_marked_in_info():
+    cost = CostModel.ideal()
+    bus = InformationBus(seed=12, cost=cost)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    infos = []
+    bus.client("node01", "mon").subscribe(
+        "rt.>", lambda s, o, i: infos.append(i))
+    pub.publish("rt.x", DataObject(reg, "story", n=0))
+    bus.settle(0.5)
+    cost.loss_probability = 1.0
+    pub.publish("rt.x", DataObject(reg, "story", n=1))
+    bus.run_for(0.001)
+    cost.loss_probability = 0.0
+    pub.publish("rt.x", DataObject(reg, "story", n=2))
+    bus.settle(3.0)
+    assert [i.seq for i in infos] == [1, 2, 3]
+    assert infos[1].retransmitted            # repaired via NACK
+    assert bus.daemon("node00").sender_retransmissions() >= 1
+
+
+def test_loss_of_first_message_is_recovered():
+    """The very first message of a session drops on the wire; receivers
+    that predate the session must repair it (exactly-once under normal
+    operation), not misread it as pre-join history."""
+    cost = CostModel.ideal()
+    bus = InformationBus(seed=13, cost=cost)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "head.>", lambda s, o, i: received.append(o.get("n")))
+    bus.run_for(0.1)
+    cost.loss_probability = 1.0     # the session's first message vanishes
+    pub.publish("head.x", DataObject(reg, "story", n=0))
+    bus.run_for(0.001)
+    cost.loss_probability = 0.0
+    pub.publish("head.x", DataObject(reg, "story", n=1))
+    bus.settle(3.0)
+    assert received == [0, 1]
+
+
+def test_late_joining_daemon_does_not_replay_history():
+    """A host added after traffic started baselines at current seq: a
+    'new subscriber' there sees only new objects."""
+    bus = InformationBus(seed=14, cost=CostModel.ideal())
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    pub.publish("late.x", DataObject(reg, "story", n=0))
+    bus.settle(1.0)
+    bus.add_host("latecomer")      # daemon born after the session
+    received = []
+    bus.client("latecomer", "mon").subscribe(
+        "late.>", lambda s, o, i: received.append(o.get("n")))
+    bus.run_for(1.0)
+    pub.publish("late.x", DataObject(reg, "story", n=1))
+    bus.settle(2.0)
+    assert received == [1]
+
+
+def test_time_based_retention_expires_old_messages():
+    from repro.core import Envelope, ReliableConfig, ReliableSender
+    from repro.sim import Simulator
+    sim = Simulator()
+    config = BusConfig().reliable
+    config.retention_seconds = 1.0
+    sender = ReliableSender("h#0", config, now=lambda: sim.now)
+
+    def publish():
+        sender.stamp(Envelope("t.x", "app", "", 0, b""))
+
+    publish()                       # seq 1 at t=0
+    sim.run_until(0.5)
+    publish()                       # seq 2 at t=0.5
+    sim.run_until(1.2)
+    publish()                       # seq 3 at t=1.2; seq 1 now expired
+    assert [e.seq for e in sender.repair(1, 3)] == [2, 3]
+    assert sender.retained() == 2
+    sim.run_until(5.0)
+    assert sender.repair(1, 3) == [] or \
+        [e.seq for e in sender.repair(1, 3)] == []   # all expired
+
+
+def test_time_retention_turns_old_gaps_into_loss():
+    """With a short reliability window, messages lost on the wire and
+    not repaired within the window are gone — at-most-once, by policy."""
+    config = BusConfig()
+    config.reliable.retention_seconds = 0.2
+    config.reliable.nack_delay = 0.3      # receiver asks too late
+    config.reliable.nack_max = 3
+    cost = CostModel.ideal()
+    bus = InformationBus(seed=21, cost=cost, config=config)
+    bus.add_hosts(2)
+    reg = story_registry()
+    pub = bus.client("node00", "feed", registry=reg)
+    received = []
+    bus.client("node01", "mon").subscribe(
+        "tr.>", lambda s, o, i: received.append(o.get("n")))
+    pub.publish("tr.x", DataObject(reg, "story", n=0))
+    bus.settle(1.0)
+    cost.loss_probability = 1.0
+    pub.publish("tr.x", DataObject(reg, "story", n=1))
+    bus.run_for(0.001)
+    cost.loss_probability = 0.0
+    pub.publish("tr.x", DataObject(reg, "story", n=2))
+    bus.settle(10.0)
+    assert received == [0, 2]     # 1 aged out of retention before repair

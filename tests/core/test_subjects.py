@@ -1,0 +1,172 @@
+"""Tests for subject validation, wildcard matching, and the trie."""
+
+import pytest
+
+from repro.core import (BadSubjectError, SubjectTrie, is_valid_pattern,
+                        is_valid_subject, subject_matches, validate_pattern,
+                        validate_subject)
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+
+def test_paper_example_subject_is_valid():
+    assert validate_subject("fab5.cc.litho8.thick") == \
+        ["fab5", "cc", "litho8", "thick"]
+
+
+@pytest.mark.parametrize("bad", ["", ".", "a..b", ".a", "a.", "a b",
+                                 "news.*", "news.>", "a.#.b", "ü.x"])
+def test_invalid_subjects(bad):
+    assert not is_valid_subject(bad)
+    with pytest.raises(BadSubjectError):
+        validate_subject(bad)
+
+
+@pytest.mark.parametrize("good", ["a", "a.b", "news.equity.gmc",
+                                  "x_1.y-2.Z3"])
+def test_valid_subjects(good):
+    assert is_valid_subject(good)
+
+
+@pytest.mark.parametrize("good", ["*", ">", "a.*", "a.>", "*.b", "a.*.c",
+                                  "news.equity.*"])
+def test_valid_patterns(good):
+    assert is_valid_pattern(good)
+
+
+@pytest.mark.parametrize("bad", ["", ">.a", "a.>.b", "a..b", "a.**"])
+def test_invalid_patterns(bad):
+    assert not is_valid_pattern(bad)
+    with pytest.raises(BadSubjectError):
+        validate_pattern(bad)
+
+
+def test_too_deep_subject_rejected():
+    deep = ".".join(["x"] * 33)
+    with pytest.raises(BadSubjectError):
+        validate_subject(deep)
+
+
+# ----------------------------------------------------------------------
+# matching semantics
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("pattern,subject,expected", [
+    ("news.equity.gmc", "news.equity.gmc", True),
+    ("news.equity.gmc", "news.equity.ibm", False),
+    ("news.equity.*", "news.equity.gmc", True),
+    ("news.equity.*", "news.equity", False),
+    ("news.equity.*", "news.equity.gmc.update", False),
+    ("news.*.gmc", "news.equity.gmc", True),
+    ("news.*.gmc", "news.bond.gmc", True),
+    ("news.*.gmc", "news.gmc", False),
+    ("*", "news", True),
+    ("*", "news.equity", False),
+    ("news.>", "news.equity", True),
+    ("news.>", "news.equity.gmc.update", True),
+    ("news.>", "news", False),
+    (">", "anything", True),
+    (">", "a.b.c", True),
+    ("fab5.cc.*.thick", "fab5.cc.litho8.thick", True),
+])
+def test_subject_matches(pattern, subject, expected):
+    assert subject_matches(pattern, subject) is expected
+
+
+# ----------------------------------------------------------------------
+# the trie
+# ----------------------------------------------------------------------
+
+def test_trie_exact_match():
+    trie = SubjectTrie()
+    trie.insert("news.equity.gmc", "A")
+    trie.insert("news.equity.ibm", "B")
+    assert trie.match("news.equity.gmc") == {"A"}
+    assert trie.match("news.equity.ibm") == {"B"}
+    assert trie.match("news.equity.xom") == set()
+
+
+def test_trie_star_and_tail():
+    trie = SubjectTrie()
+    trie.insert("news.equity.*", "star")
+    trie.insert("news.>", "tail")
+    trie.insert("news.equity.gmc", "exact")
+    assert trie.match("news.equity.gmc") == {"star", "tail", "exact"}
+    assert trie.match("news.equity.gmc.update") == {"tail"}
+    assert trie.match("news.bond.us") == {"tail"}
+    assert trie.match("news") == set()   # '>' needs at least one more
+
+
+def test_trie_multiple_values_same_pattern():
+    trie = SubjectTrie()
+    trie.insert("a.b", "x")
+    trie.insert("a.b", "y")
+    assert trie.match("a.b") == {"x", "y"}
+    assert len(trie) == 2
+
+
+def test_trie_duplicate_insert_is_noop():
+    trie = SubjectTrie()
+    trie.insert("a.b", "x")
+    trie.insert("a.b", "x")
+    assert len(trie) == 1
+
+
+def test_trie_remove():
+    trie = SubjectTrie()
+    trie.insert("a.*", "x")
+    trie.insert("a.>", "x")
+    assert trie.remove("a.*", "x") is True
+    assert trie.match("a.b") == {"x"}
+    assert trie.remove("a.>", "x") is True
+    assert trie.match("a.b") == set()
+    assert trie.remove("a.>", "x") is False
+    assert trie.remove("never.inserted", "x") is False
+    assert len(trie) == 0
+
+
+def test_trie_prunes_empty_branches():
+    trie = SubjectTrie()
+    trie.insert("a.b.c.d", "x")
+    trie.remove("a.b.c.d", "x")
+    assert trie._root.empty()
+
+
+def test_trie_star_only_matches_one_level():
+    trie = SubjectTrie()
+    trie.insert("*.b", "x")
+    assert trie.match("a.b") == {"x"}
+    assert trie.match("a.c") == set()
+    assert trie.match("a.b.c") == set()
+
+
+def test_trie_patterns_for():
+    trie = SubjectTrie()
+    trie.insert("a.*", "x")
+    trie.insert("a.>", "x")
+    trie.insert("b.c", "x")
+    trie.insert("b.c", "y")
+    assert trie.patterns_for("x") == ["a.*", "a.>", "b.c"]
+    assert trie.patterns_for("y") == ["b.c"]
+
+
+def test_trie_rejects_bad_patterns():
+    trie = SubjectTrie()
+    with pytest.raises(BadSubjectError):
+        trie.insert("a..b", "x")
+    with pytest.raises(BadSubjectError):
+        trie.match("a.*")   # match takes concrete subjects only
+
+
+def test_trie_scales_independent_of_subscription_count():
+    """The Figure 8 property: matching cost depends on subject depth, not
+    on how many patterns are registered (validated functionally here,
+    timed in benchmarks/test_fig8_subjects.py)."""
+    trie = SubjectTrie()
+    for i in range(10_000):
+        trie.insert(f"bench.sub{i:05d}.data", i)
+    assert trie.match("bench.sub04567.data") == {4567}
+    assert trie.matches_anything("bench.sub00000.data")
+    assert not trie.matches_anything("bench.nope.data")

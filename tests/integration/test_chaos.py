@@ -1,0 +1,127 @@
+"""Chaos test: random crashes, recoveries, and partitions over a long run.
+
+A seeded fault schedule hammers a small "24 by 7" deployment while
+publishers keep publishing.  At the end (after healing and quiescing),
+the paper's delivery contracts must hold:
+
+* reliable: per-session FIFO at every subscriber, no duplicates;
+* guaranteed: every message a publisher logged is stored by the durable
+  consumer exactly once, with nothing left unacknowledged.
+"""
+
+import pytest
+
+from repro.core import InformationBus, QoS
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           standard_registry)
+from repro.repository import CaptureServer
+from repro.sim import CostModel
+
+
+def chaotic_cost():
+    cost = CostModel.ideal()
+    cost.loss_probability = 0.02
+    cost.duplicate_probability = 0.01
+    cost.reorder_jitter = 0.002
+    return cost
+
+
+@pytest.mark.parametrize("seed", [101, 202, 303])
+def test_delivery_contracts_survive_chaos(seed):
+    bus = InformationBus(seed=seed, cost=chaotic_cost())
+    hosts = [f"node{i:02d}" for i in range(5)]
+    for address in hosts:
+        bus.add_host(address)
+
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "event", attributes=[AttributeSpec("n", "int")]))
+
+    publisher = bus.client("node00", "feed", registry=reg)
+    gd_publisher = bus.client("node01", "alarms", registry=reg)
+
+    # a reliable subscriber on node02 records (session, seq) per delivery
+    reliable_log = []
+    bus.client("node02", "mon").subscribe(
+        "chaos.rel.>",
+        lambda s, o, i: reliable_log.append((i.session, i.seq, o.get("n"))))
+
+    # a durable capture server on node03 is the guaranteed consumer
+    capture = CaptureServer(bus.client("node03", "db"), ["chaos.gd.>"])
+
+    rng = bus.sim.rng("chaos.schedule")
+    published_reliable = 0
+    published_guaranteed = 0
+
+    def maybe(prob):
+        return rng.random() < prob
+
+    # 30 simulated seconds of traffic with injected faults.  node00 and
+    # node01 (the publishers) stay up; consumers and bystanders churn.
+    victims = ["node02", "node03", "node04"]
+    for step in range(120):
+        at = step * 0.25
+
+        def tick(step=step):
+            nonlocal published_reliable, published_guaranteed
+            # publishers publish whenever their host is up
+            if bus.host("node00").up:
+                publisher.publish(
+                    "chaos.rel.data",
+                    DataObject(reg, "event", n=published_reliable))
+                published_reliable += 1
+            if bus.host("node01").up and step % 3 == 0:
+                gd_publisher.publish(
+                    "chaos.gd.data",
+                    DataObject(reg, "event", n=published_guaranteed),
+                    qos=QoS.GUARANTEED)
+                published_guaranteed += 1
+            # random faults
+            if maybe(0.08):
+                victim = rng.choice(victims)
+                if bus.host(victim).up:
+                    bus.crash_host(victim)
+                else:
+                    bus.recover_host(victim)
+            if maybe(0.05) and not bus.lan.partitioned():
+                side = set(rng.sample(hosts, rng.randint(1, 2)))
+                bus.partition(side)
+            elif maybe(0.2):
+                bus.heal()
+
+        bus.sim.schedule_at(at, tick)
+
+    bus.run_for(32.0)
+    # end of chaos: heal everything and let the protocols settle
+    bus.heal()
+    for address in victims:
+        if not bus.host(address).up:
+            bus.recover_host(address)
+    bus.settle(30.0)
+
+    assert published_reliable > 50
+    assert published_guaranteed > 10
+
+    # ------------------------------------------------------------------
+    # reliable contract: FIFO per session, no duplicates
+    # ------------------------------------------------------------------
+    seqs_by_session = {}
+    for session, seq, n in reliable_log:
+        seqs_by_session.setdefault(session, []).append((seq, n))
+    for session, entries in seqs_by_session.items():
+        seqs = [seq for seq, _ in entries]
+        assert seqs == sorted(seqs), f"{session}: out of order"
+        assert len(seqs) == len(set(seqs)), f"{session}: duplicates"
+        payload_ns = [n for _, n in entries]
+        assert payload_ns == sorted(payload_ns), \
+            f"{session}: payload order violated"
+
+    # ------------------------------------------------------------------
+    # guaranteed contract: everything acked, stored exactly once
+    # ------------------------------------------------------------------
+    assert bus.daemon("node01").guaranteed_pending() == [], \
+        "guaranteed messages left unacknowledged after healing"
+    stored = capture.store.query("event")
+    stored_ns = sorted(o.get("n") for o in stored)
+    assert stored_ns == list(range(published_guaranteed)), \
+        f"stored {len(stored_ns)}/{published_guaranteed} guaranteed events"

@@ -1,0 +1,80 @@
+"""Golden wire vectors: the marshalled format must stay stable.
+
+A bus deployed "24 by 7" upgrades piecemeal, so new code must decode
+what old code encoded.  These vectors freeze the byte-level format; if
+one of them changes, that is a wire-compatibility break and needs to be
+a deliberate, versioned decision (bump the magic), not an accident.
+"""
+
+import pytest
+
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           decode, encode, standard_registry)
+
+GOLDEN_SCALARS = [
+    (None, "4942014e"),
+    (True, "49420154"),
+    (False, "49420146"),
+    (0, "494201690000000000000000"),
+    (1, "494201690000000000000001"),
+    (-1, "49420169ffffffffffffffff"),
+    (2**40, "494201690000010000000000"),
+    (1.5, "494201643ff8000000000000"),
+    ("", "4942017300"),
+    ("hi", "49420173026869"),
+    ("é", "4942017302c3a9"),
+    (b"", "4942016200"),
+    (b"\x00\xff", "494201620200ff"),
+    ([], "4942016c00"),
+    ([1, "a"], "4942016c02690000000000000001730161"),
+    ({}, "4942016d00"),
+]
+
+
+@pytest.mark.parametrize("value,expected_hex", GOLDEN_SCALARS,
+                         ids=[repr(v)[:20] for v, _ in GOLDEN_SCALARS])
+def test_scalar_golden_vectors(value, expected_hex):
+    wire = encode(value).hex()
+    if expected_hex.endswith("["):          # documented prefix-only vector
+        assert wire.startswith(expected_hex[:-1])
+    else:
+        assert wire == expected_hex
+    assert decode(bytes.fromhex(wire), standard_registry()) == value
+
+
+def test_object_golden_vector():
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "tick", attributes=[AttributeSpec("px", "float"),
+                            AttributeSpec("sym", "string")]))
+    obj = DataObject(reg, "tick", {"px": 1.0, "sym": "GM"},
+                     oid="tick:00000001")
+    wire = encode(obj)
+    expected = (
+        "494201"                    # magic "IB\x01"
+        "6f"                        # 'o' object tag
+        "047469636b"                # type name "tick"
+        "0d7469636b3a3030303030303031"   # oid "tick:00000001"
+        "02"                        # two attributes set
+        "027078"                    # "px"
+        "643ff0000000000000"        # 'd' 1.0
+        "0373796d"                  # "sym"
+        "7302474d"                  # 's' "GM"
+    )
+    assert wire.hex() == expected
+    assert decode(wire, reg) == obj
+
+
+def test_magic_version_is_stable():
+    assert encode(None)[:3] == b"IB\x01"
+
+
+def test_inline_metadata_block_tag():
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "t", attributes=[AttributeSpec("a", "int", required=False)]))
+    obj = DataObject(reg, "t", {})
+    wire = encode(obj, reg, inline_types=True)
+    assert wire[3:4] == b"M"        # metadata block marker after magic
+    # and a schema-naive process can still decode it
+    assert decode(wire, standard_registry()).type_name == "t"

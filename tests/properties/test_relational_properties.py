@@ -1,0 +1,120 @@
+"""Property-based tests: the relational engine against a model.
+
+A :class:`Table` with a primary key must behave exactly like a dict of
+rows under any interleaving of insert/upsert/update/delete, with or
+without secondary indexes (indexes must never change results, only
+costs).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects import DataObject, standard_registry
+from repro.repository import (Column, Eq, Gt, INTEGER, ObjectStore, TEXT,
+                              Table, Database, TRUE)
+from repro.objects import AttributeSpec, TypeDescriptor
+
+keys = st.text(string.ascii_lowercase, min_size=1, max_size=3)
+ages = st.integers(0, 50)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("upsert"), keys, ages),
+        st.tuples(st.just("delete"), keys, st.none()),
+        st.tuples(st.just("update"), keys, ages),
+    ),
+    max_size=40)
+
+
+def fresh_table(indexed: bool) -> Table:
+    table = Table("t", [Column("id", TEXT, nullable=False),
+                        Column("age", INTEGER)], primary_key="id")
+    if indexed:
+        table.create_index("age")
+    return table
+
+
+@given(operations, st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_table_matches_dict_model(ops, indexed):
+    table = fresh_table(indexed)
+    model = {}
+    for op, key, age in ops:
+        if op == "upsert":
+            table.upsert({"id": key, "age": age})
+            model[key] = age
+        elif op == "delete":
+            removed = table.delete(Eq("id", key))
+            assert removed == (1 if key in model else 0)
+            model.pop(key, None)
+        elif op == "update":
+            changed = table.update(Eq("id", key), {"age": age})
+            assert changed == (1 if key in model else 0)
+            if key in model:
+                model[key] = age
+    assert len(table) == len(model)
+    assert {r["id"]: r["age"] for r in table.select()} == model
+    for key, age in model.items():
+        assert table.get(key) == {"id": key, "age": age}
+    # predicate agreement, with the index active
+    threshold = 25
+    expected = {k for k, v in model.items() if v is not None and
+                v > threshold}
+    assert {r["id"] for r in table.select(Gt("age", threshold))} == expected
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_index_never_changes_results(ops):
+    plain = fresh_table(indexed=False)
+    indexed = fresh_table(indexed=True)
+    for op, key, age in ops:
+        for table in (plain, indexed):
+            if op == "upsert":
+                table.upsert({"id": key, "age": age})
+            elif op == "delete":
+                table.delete(Eq("id", key))
+            elif op == "update":
+                table.update(Eq("id", key), {"age": age})
+    def row_set(table, predicate):
+        return {tuple(sorted(r.items())) for r in table.select(predicate)}
+
+    for probe in range(0, 51, 7):
+        assert row_set(plain, Eq("age", probe)) == \
+            row_set(indexed, Eq("age", probe))
+    assert plain.count(TRUE) == indexed.count(TRUE)
+
+
+doc_attrs = st.fixed_dictionaries({"title": st.text(max_size=20)}, optional={
+    "count": st.integers(-1000, 1000),
+    "tags": st.lists(st.text(string.ascii_lowercase, min_size=1,
+                             max_size=5), max_size=4),
+    "attrs": st.dictionaries(st.text(string.ascii_lowercase, min_size=1,
+                                     max_size=5),
+                             st.text(max_size=5), max_size=3),
+})
+
+
+@given(st.lists(doc_attrs, min_size=1, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_object_store_roundtrips_any_population(population):
+    reg = standard_registry()
+    reg.register(TypeDescriptor("doc", attributes=[
+        AttributeSpec("title", "string"),
+        AttributeSpec("count", "int", required=False),
+        AttributeSpec("tags", "list<string>", required=False),
+        AttributeSpec("attrs", "map<string>", required=False),
+    ]))
+    store = ObjectStore(Database(), reg)
+    objects = [DataObject(reg, "doc", attrs) for attrs in population]
+    for obj in objects:
+        store.store(obj)
+    assert store.count("doc") == len(objects)
+    for obj in objects:
+        assert store.load(obj.oid) == obj
+    # querying by title equality agrees with a linear scan of the input
+    probe = population[0]["title"]
+    expected = sorted(o.oid for o in objects if o.get("title") == probe)
+    assert sorted(o.oid for o in store.query("doc", title=probe)) == expected

@@ -1,0 +1,97 @@
+"""Property-based tests: TDL evaluation against a Python reference."""
+
+from fractions import Fraction
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.tdl import Interpreter, to_source
+
+
+# ----------------------------------------------------------------------
+# arithmetic expressions evaluate like Python
+# ----------------------------------------------------------------------
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """Returns (tdl_source, python_value) for a random arithmetic tree."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(st.integers(-50, 50))
+        return str(value), value
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    arity = draw(st.integers(2, 3))
+    parts = [draw(arith_expr(depth=depth + 1)) for _ in range(arity)]
+    source = f"({op} " + " ".join(p[0] for p in parts) + ")"
+    values = [p[1] for p in parts]
+    if op == "+":
+        result = sum(values)
+    elif op == "*":
+        result = 1
+        for v in values:
+            result *= v
+    else:
+        result = values[0]
+        for v in values[1:]:
+            result -= v
+    return source, result
+
+
+@given(arith_expr())
+@settings(max_examples=300, deadline=None)
+def test_arithmetic_matches_python(pair):
+    source, expected = pair
+    assert Interpreter().eval_text(source) == expected
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=10))
+@settings(max_examples=150, deadline=None)
+def test_list_pipeline_matches_python(values):
+    tdl = Interpreter()
+    tdl.define("xs", list(values))
+    assert tdl.eval_text("(length xs)") == len(values)
+    assert tdl.eval_text("(reverse xs)") == list(reversed(values))
+    assert tdl.eval_text("(sort xs)") == sorted(values)
+    assert tdl.eval_text("(mapcar (lambda (x) (* 2 x)) xs)") == \
+        [2 * v for v in values]
+    assert tdl.eval_text("(filter (lambda (x) (> x 0)) xs)") == \
+        [v for v in values if v > 0]
+    assert tdl.eval_text("(reduce + xs 0)") == sum(values)
+
+
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=8))
+@settings(max_examples=100, deadline=None)
+def test_recursive_function_agrees(values):
+    tdl = Interpreter()
+    tdl.eval_text("""
+        (defun total (xs)
+          (if (= (length xs) 0) 0
+              (+ (first xs) (total (rest xs)))))
+    """)
+    tdl.define("xs", list(values))
+    assert tdl.eval_text("(total xs)") == sum(values)
+
+
+@given(st.integers(0, 40))
+@settings(max_examples=50, deadline=None)
+def test_while_loop_counts(n):
+    tdl = Interpreter()
+    tdl.define("target", n)
+    assert tdl.eval_text(
+        "(define i 0) (while (< i target) (setq i (+ i 1))) i") == n
+
+
+# ----------------------------------------------------------------------
+# environments behave lexically
+# ----------------------------------------------------------------------
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+@settings(max_examples=50, deadline=None)
+def test_closures_capture_definition_environment(a, b):
+    tdl = Interpreter()
+    tdl.define("a", a)
+    tdl.eval_text("(defun make-adder () (lambda (x) (+ x a)))")
+    tdl.eval_text("(define f (make-adder))")
+    tdl.eval_text(f"(define a {b})")    # rebinding the global is visible
+    assert tdl.eval_text("(f 1)") == b + 1
+    # but a let-bound shadow is not
+    assert tdl.eval_text("(let ((a 999)) (f 1))") == b + 1

@@ -1,0 +1,172 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, SimError, Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(3.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(1.0, fired.append, label)
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(0.5, event.cancel)
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nested_scheduling():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sim.schedule(1.0, lambda: fired.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert fired == ["outer", "inner"]
+    assert sim.now == 2.0
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+
+    def first():
+        sim.call_soon(lambda: times.append(sim.now))
+
+    sim.schedule(5.0, first)
+    sim.run()
+    assert times == [5.0]
+
+
+def test_run_until_stops_at_deadline():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.schedule(3.0, fired.append, "c")
+    sim.run_until(2.5)
+    assert fired == ["a", "b"]
+    assert sim.now == 2.5
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_run_until_advances_clock_even_when_idle():
+    sim = Simulator()
+    sim.run_until(10.0)
+    assert sim.now == 10.0
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: sim.schedule_at(5.0, fired.append, "x"))
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 5.0
+
+
+def test_stop_interrupts_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1.0, forever)
+
+    sim.schedule(1.0, forever)
+    with pytest.raises(SimError):
+        sim.run(max_events=100)
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    sim1 = Simulator(seed=42)
+    sim2 = Simulator(seed=42)
+    a1 = [sim1.rng("a").random() for _ in range(5)]
+    # interleave a different stream in sim2; "a" must be unaffected
+    sim2.rng("b").random()
+    a2 = [sim2.rng("a").random() for _ in range(5)]
+    assert a1 == a2
+
+
+def test_rng_streams_differ_across_seeds():
+    assert Simulator(seed=1).rng("x").random() != \
+        Simulator(seed=2).rng("x").random()
+
+
+def test_periodic_timer_fires_until_stopped():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    sim.schedule(3.5, timer.stop)
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+    assert timer.stopped
+
+
+def test_periodic_timer_initial_delay():
+    sim = Simulator()
+    ticks = []
+    timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now),
+                          initial_delay=0.25)
+    sim.schedule(2.5, timer.stop)
+    sim.run()
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_periodic_timer_rejects_bad_interval():
+    with pytest.raises(SimError):
+        PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending() == 2
+    e1.cancel()
+    assert sim.pending() == 1

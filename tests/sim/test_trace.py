@@ -1,0 +1,40 @@
+"""Tests for the tracer."""
+
+from repro.sim import Tracer
+
+
+def test_disabled_tracer_records_nothing():
+    tracer = Tracer(enabled=False)
+    tracer.emit(1.0, "send", subject="a.b")
+    assert tracer.records == []
+
+
+def test_emit_and_select():
+    tracer = Tracer(enabled=True)
+    tracer.emit(1.0, "send", subject="a.b", size=10)
+    tracer.emit(2.0, "recv", subject="a.b")
+    tracer.emit(3.0, "send", subject="c.d", size=20)
+    sends = tracer.select("send")
+    assert len(sends) == 2
+    assert tracer.select("send", subject="a.b")[0]["size"] == 10
+    assert tracer.count("recv") == 1
+    assert tracer.count("recv", subject="zzz") == 0
+
+
+def test_category_filter():
+    tracer = Tracer(enabled=True, categories=["send"])
+    tracer.emit(1.0, "send")
+    tracer.emit(2.0, "recv")
+    assert tracer.count("send") == 1
+    assert tracer.count("recv") == 0
+
+
+def test_listener_and_clear():
+    tracer = Tracer(enabled=True)
+    seen = []
+    tracer.subscribe(seen.append)
+    tracer.emit(1.0, "x", k=1)
+    assert seen[0].get("k") == 1
+    assert seen[0]["k"] == 1
+    tracer.clear()
+    assert tracer.records == []

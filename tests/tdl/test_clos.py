@@ -1,0 +1,228 @@
+"""Tests for TDL's CLOS subset: defclass, generic dispatch, bus integration."""
+
+import pytest
+
+from repro.objects import DataObject, standard_registry
+from repro.tdl import Interpreter, TdlDispatchError, TdlSyntaxError
+
+
+@pytest.fixture
+def tdl():
+    interp = Interpreter()
+    interp.eval_text("""
+        (defclass story (object)
+          ((headline :type string)
+           (body :type string :required nil)
+           (codes :type (list string) :required nil))
+          :doc "a news story")
+        (defclass reuters-story (story)
+          ((ric :type string :required nil)))
+    """)
+    return interp
+
+
+def test_defclass_registers_bus_type(tdl):
+    descriptor = tdl.registry.get("story")
+    assert descriptor.doc == "a news story"
+    attr = descriptor.own_attribute("codes")
+    assert attr.type_name == "list<string>"
+    assert attr.required is False
+    assert tdl.registry.is_subtype("reuters-story", "story")
+
+
+def test_make_instance_builds_data_object(tdl):
+    story = tdl.eval_text(
+        '(make-instance \'story :headline "Chips up" '
+        ':codes (list "equity" "gmc"))')
+    assert isinstance(story, DataObject)
+    assert story.type_name == "story"
+    assert story.get("codes") == ["equity", "gmc"]
+
+
+def test_make_instance_validates(tdl):
+    with pytest.raises(Exception):
+        tdl.eval_text("(make-instance 'story :headline 42)")
+    with pytest.raises(Exception):
+        tdl.eval_text('(make-instance \'story :bogus "x")')
+
+
+def test_slot_access(tdl):
+    assert tdl.eval_text(
+        '(define s (make-instance \'story :headline "A"))'
+        "(set-slot-value! s 'body \"text\")"
+        "(slot-value s 'body)") == "text"
+
+
+def test_mop_from_tdl(tdl):
+    assert tdl.eval_text(
+        '(define s (make-instance \'reuters-story :headline "A"))'
+        "(attribute-names s)") == ["headline", "body", "codes", "ric"]
+    assert tdl.eval_text("(attribute-type s 'codes)") == "list<string>"
+    assert tdl.eval_text("(type-of s)") == "reuters-story"
+    assert tdl.eval_text("(is-a s 'story)") is True
+    assert tdl.eval_text("(is-a s 'property)") is False
+    assert "story" in tdl.eval_text("(known-types)")
+    assert tdl.eval_text("(subtypes-of 'story)") == ["reuters-story"]
+    desc = tdl.eval_text("(describe-type 'story)")
+    assert desc["name"] == "story"
+
+
+def test_single_dispatch(tdl):
+    tdl.eval_text("""
+        (defmethod label ((s story)) "story")
+        (defmethod label ((s reuters-story)) "reuters")
+    """)
+    assert tdl.eval_text(
+        '(label (make-instance \'story :headline "x"))') == "story"
+    assert tdl.eval_text(
+        '(label (make-instance \'reuters-story :headline "x"))') == "reuters"
+
+
+def test_inherited_method_applies_to_subtype(tdl):
+    tdl.eval_text('(defmethod headline-of ((s story)) (slot-value s \'headline))')
+    assert tdl.eval_text(
+        '(headline-of (make-instance \'reuters-story :headline "hi"))') == "hi"
+
+
+def test_call_next_method(tdl):
+    tdl.eval_text("""
+        (defmethod describe ((s story)) "base")
+        (defmethod describe ((s reuters-story))
+          (concat "reuters+" (call-next-method)))
+    """)
+    assert tdl.eval_text(
+        '(describe (make-instance \'reuters-story :headline "x"))') == \
+        "reuters+base"
+
+
+def test_call_next_method_exhausted(tdl):
+    tdl.eval_text('(defmethod lone ((s story)) (call-next-method))')
+    with pytest.raises(TdlDispatchError):
+        tdl.eval_text('(lone (make-instance \'story :headline "x"))')
+
+
+def test_no_applicable_method(tdl):
+    tdl.eval_text('(defmethod only-stories ((s story)) t)')
+    with pytest.raises(TdlDispatchError):
+        tdl.eval_text("(only-stories 42)")
+
+
+def test_dispatch_on_fundamentals(tdl):
+    tdl.eval_text("""
+        (defmethod kind ((x integer)) "int")
+        (defmethod kind ((x string)) "str")
+        (defmethod kind ((x list)) "list")
+        (defmethod kind (x) "other")
+    """)
+    assert tdl.eval_text("(kind 3)") == "int"
+    assert tdl.eval_text('(kind "s")') == "str"
+    assert tdl.eval_text("(kind (list 1))") == "list"
+    assert tdl.eval_text("(kind 1.5)") == "other"
+
+
+def test_multiple_dispatch(tdl):
+    tdl.eval_text("""
+        (defmethod pair ((a story) (b story)) "story-story")
+        (defmethod pair ((a reuters-story) (b story)) "reuters-story")
+        (defmethod pair ((a story) (b integer)) "story-int")
+    """)
+    make = '(make-instance \'{} :headline "x")'
+    assert tdl.eval_text(
+        f"(pair {make.format('story')} {make.format('story')})") == \
+        "story-story"
+    assert tdl.eval_text(
+        f"(pair {make.format('reuters-story')} {make.format('story')})") == \
+        "reuters-story"
+    assert tdl.eval_text(f"(pair {make.format('story')} 3)") == "story-int"
+
+
+def test_method_redefinition_replaces(tdl):
+    tdl.eval_text('(defmethod v ((s story)) "old")')
+    tdl.eval_text('(defmethod v ((s story)) "new")')
+    assert tdl.eval_text('(v (make-instance \'story :headline "x"))') == "new"
+    assert len(tdl.generics["v"].methods) == 1
+
+
+def test_defgeneric_creates_empty_generic(tdl):
+    tdl.eval_text("(defgeneric process)")
+    assert "process" in tdl.generics
+
+
+def test_defclass_multiple_inheritance_rejected(tdl):
+    with pytest.raises(TdlSyntaxError):
+        tdl.eval_text("(defclass bad (story property) ())")
+
+
+def test_defclass_plain_symbol_slot(tdl):
+    tdl.eval_text("(defclass blob (object) (payload))")
+    assert tdl.registry.get("blob").own_attribute("payload").type_name == "any"
+
+
+def test_shared_registry_integration():
+    """A type defined in TDL is visible to Python code using the registry."""
+    registry = standard_registry()
+    interp = Interpreter(registry)
+    interp.eval_text("(defclass recipe (object) ((steps :type (list string))))")
+    obj = DataObject(registry, "recipe", steps=["etch"])
+    assert obj.is_a("recipe")
+
+
+def test_make_property_from_tdl(tdl):
+    prop = tdl.eval_text(
+        '(make-property \'keywords (list "fab") "story:1")')
+    assert prop.is_a("property")
+    assert prop.get("ref") == "story:1"
+
+
+def test_render_object_from_tdl(tdl):
+    text = tdl.eval_text(
+        '(render-object (make-instance \'story :headline "X"))')
+    assert "<story>" in text
+
+
+def test_before_after_method_combination(tdl):
+    """CLOS standard method combination: :before most-specific-first,
+    primary, then :after least-specific-first; value comes from the
+    primary."""
+    tdl.eval_text("""
+        (define trace (list))
+        (defmethod step :before ((s story))
+          (setq trace (append trace (list "before-story"))))
+        (defmethod step :before ((s reuters-story))
+          (setq trace (append trace (list "before-reuters"))))
+        (defmethod step ((s story))
+          (setq trace (append trace (list "primary")))
+          "value")
+        (defmethod step :after ((s story))
+          (setq trace (append trace (list "after-story"))))
+        (defmethod step :after ((s reuters-story))
+          (setq trace (append trace (list "after-reuters"))))
+    """)
+    result = tdl.eval_text(
+        '(step (make-instance \'reuters-story :headline "x")) trace')
+    assert result == ["before-reuters", "before-story", "primary",
+                      "after-story", "after-reuters"]
+    assert tdl.eval_text(
+        '(step (make-instance \'story :headline "x"))') == "value"
+
+
+def test_before_without_primary_is_not_applicable(tdl):
+    tdl.eval_text('(defmethod lonely :before ((s story)) t)')
+    with pytest.raises(TdlDispatchError):
+        tdl.eval_text('(lonely (make-instance \'story :headline "x"))')
+
+
+def test_bad_qualifier_rejected(tdl):
+    with pytest.raises(TdlSyntaxError):
+        tdl.eval_text('(defmethod bad :around ((s story)) t)')
+
+
+def test_qualified_method_redefinition_replaces(tdl):
+    tdl.eval_text("""
+        (define hits 0)
+        (defmethod watch ((s story)) "v")
+        (defmethod watch :before ((s story)) (setq hits (+ hits 1)))
+        (defmethod watch :before ((s story)) (setq hits (+ hits 10)))
+    """)
+    tdl.eval_text('(watch (make-instance \'story :headline "x"))')
+    assert tdl.eval_text("hits") == 10   # replaced, not accumulated

@@ -1,0 +1,215 @@
+"""Tests for the TDL evaluator: special forms, functions, stdlib."""
+
+import pytest
+
+from repro.tdl import (Interpreter, Symbol, TdlArityError, TdlError,
+                       TdlNameError, TdlSyntaxError)
+
+
+@pytest.fixture
+def tdl():
+    return Interpreter()
+
+
+def test_self_evaluating(tdl):
+    assert tdl.eval_text("42") == 42
+    assert tdl.eval_text('"s"') == "s"
+    assert tdl.eval_text("t") is True
+    assert tdl.eval_text("nil") is None
+
+
+def test_arithmetic(tdl):
+    assert tdl.eval_text("(+ 1 2 3)") == 6
+    assert tdl.eval_text("(- 10 3 2)") == 5
+    assert tdl.eval_text("(- 5)") == -5
+    assert tdl.eval_text("(* 2 3 4)") == 24
+    assert tdl.eval_text("(/ 10 4)") == 2.5
+    assert tdl.eval_text("(mod 7 3)") == 1
+    assert tdl.eval_text("(max 1 5 3)") == 5
+
+
+def test_division_by_zero(tdl):
+    with pytest.raises(TdlError):
+        tdl.eval_text("(/ 1 0)")
+
+
+def test_comparisons(tdl):
+    assert tdl.eval_text("(< 1 2 3)") is True
+    assert tdl.eval_text("(< 1 3 2)") is False
+    assert tdl.eval_text("(= 2 2 2)") is True
+    assert tdl.eval_text("(/= 1 2)") is True
+    assert tdl.eval_text("(not nil)") is True
+
+
+def test_define_and_setq(tdl):
+    assert tdl.eval_text("(define x 10) (setq x (+ x 1)) x") == 11
+
+
+def test_setq_unbound_raises(tdl):
+    with pytest.raises(TdlNameError):
+        tdl.eval_text("(setq ghost 1)")
+
+
+def test_unbound_symbol_raises(tdl):
+    with pytest.raises(TdlNameError):
+        tdl.eval_text("ghost")
+
+
+def test_if_and_truthiness(tdl):
+    assert tdl.eval_text('(if t "yes" "no")') == "yes"
+    assert tdl.eval_text('(if nil "yes" "no")') == "no"
+    assert tdl.eval_text('(if 0 "yes" "no")') == "yes"   # 0 is truthy (CLOS)
+    assert tdl.eval_text("(if nil 1)") is None
+
+
+def test_cond_when_unless(tdl):
+    assert tdl.eval_text(
+        '(define x 5) (cond ((< x 0) "neg") ((= x 5) "five") (t "other"))'
+    ) == "five"
+    assert tdl.eval_text('(when t 1 2)') == 2
+    assert tdl.eval_text('(when nil 1)') is None
+    assert tdl.eval_text('(unless nil "ran")') == "ran"
+
+
+def test_let_and_let_star(tdl):
+    assert tdl.eval_text("(let ((a 1) (b 2)) (+ a b))") == 3
+    assert tdl.eval_text("(let* ((a 1) (b (+ a 1))) b)") == 2
+    # plain let evaluates bindings in the outer scope
+    assert tdl.eval_text(
+        "(define a 10) (let ((a 1) (b a)) b)") == 10
+
+
+def test_and_or_short_circuit(tdl):
+    assert tdl.eval_text("(and 1 2 3)") == 3
+    assert tdl.eval_text("(and 1 nil 3)") is None
+    assert tdl.eval_text("(or nil 2 3)") == 2
+    assert tdl.eval_text("(or nil nil)") is None
+
+
+def test_lambda_and_defun(tdl):
+    assert tdl.eval_text("((lambda (x y) (+ x y)) 3 4)") == 7
+    assert tdl.eval_text("(defun sq (x) (* x x)) (sq 9)") == 81
+
+
+def test_closures(tdl):
+    assert tdl.eval_text(
+        "(defun adder (n) (lambda (x) (+ x n)))"
+        "(define add5 (adder 5))"
+        "(add5 3)") == 8
+
+
+def test_recursion(tdl):
+    assert tdl.eval_text(
+        "(defun fact (n) (if (<= n 1) 1 (* n (fact (- n 1)))))"
+        "(fact 10)") == 3628800
+
+
+def test_rest_args(tdl):
+    assert tdl.eval_text(
+        "(defun count-args (&rest xs) (length xs)) (count-args 1 2 3)") == 3
+    assert tdl.eval_text(
+        "(defun head-and-rest (a &rest xs) (list a xs))"
+        "(head-and-rest 1 2 3)") == [1, [2, 3]]
+
+
+def test_arity_errors(tdl):
+    tdl.eval_text("(defun two (a b) a)")
+    with pytest.raises(TdlArityError):
+        tdl.eval_text("(two 1)")
+    with pytest.raises(TdlArityError):
+        tdl.eval_text("(two 1 2 3)")
+
+
+def test_while_loop(tdl):
+    assert tdl.eval_text(
+        "(define n 0) (while (< n 5) (setq n (+ n 1))) n") == 5
+
+
+def test_dolist(tdl):
+    assert tdl.eval_text(
+        "(define total 0)"
+        "(dolist (x (list 1 2 3)) (setq total (+ total x)))"
+        "total") == 6
+
+
+def test_list_builtins(tdl):
+    assert tdl.eval_text("(length (list 1 2 3))") == 3
+    assert tdl.eval_text("(nth 1 (list 10 20 30))") == 20
+    assert tdl.eval_text("(nth 9 (list 1))") is None
+    assert tdl.eval_text("(first (list 1 2))") == 1
+    assert tdl.eval_text("(rest (list 1 2 3))") == [2, 3]
+    assert tdl.eval_text("(append (list 1) (list 2 3))") == [1, 2, 3]
+    assert tdl.eval_text("(cons 0 (list 1))") == [0, 1]
+    assert tdl.eval_text("(reverse (list 1 2))") == [2, 1]
+    assert tdl.eval_text("(member 2 (list 1 2))") is True
+    assert tdl.eval_text("(mapcar (lambda (x) (* x x)) (list 1 2 3))") == \
+        [1, 4, 9]
+    assert tdl.eval_text(
+        "(filter (lambda (x) (> x 1)) (list 1 2 3))") == [2, 3]
+    assert tdl.eval_text("(sort (list 3 1 2))") == [1, 2, 3]
+    assert tdl.eval_text("(range 3)") == [0, 1, 2]
+
+
+def test_string_builtins(tdl):
+    assert tdl.eval_text('(concat "a" "b" 3)') == "ab3"
+    assert tdl.eval_text('(string-upcase "abc")') == "ABC"
+    assert tdl.eval_text('(substring "hello" 1 3)') == "el"
+    assert tdl.eval_text('(string-search "ll" "hello")') == 2
+    assert tdl.eval_text('(string-split "a,b" ",")') == ["a", "b"]
+    assert tdl.eval_text('(string-join "-" (list "a" "b"))') == "a-b"
+
+
+def test_map_builtins(tdl):
+    assert tdl.eval_text(
+        '(define m (make-map)) (map-set! m "k" 1) (map-get m "k")') == 1
+    assert tdl.eval_text('(map-keys m)') == ["k"]
+    assert tdl.eval_text('(map-has m "k")') is True
+    assert tdl.eval_text('(map-get m "zz" "dflt")') == "dflt"
+
+
+def test_print_collects_output(tdl):
+    tdl.eval_text('(print "hello" 42) (print "again")')
+    assert tdl.eval_text("(tdl-output)") == ["hello 42", "again"]
+    tdl.eval_text("(clear-output)")
+    assert tdl.eval_text("(tdl-output)") == []
+
+
+def test_quote(tdl):
+    assert tdl.eval_text("'(1 2)") == [1, 2]
+    assert tdl.eval_text("'sym") == Symbol("sym")
+
+
+def test_calling_non_callable_raises(tdl):
+    with pytest.raises(TdlError):
+        tdl.eval_text("(42 1)")
+
+
+def test_python_interop(tdl):
+    tdl.define("twice", lambda x: 2 * x)
+    assert tdl.eval_text("(twice 21)") == 42
+
+
+def test_empty_list_is_nil(tdl):
+    assert tdl.eval_text("()") is None
+
+
+def test_malformed_special_forms(tdl):
+    for bad in ["(define)", "(if t)", "(let (x) 1)", "(lambda)",
+                "(setq 1 2)"]:
+        with pytest.raises(TdlSyntaxError):
+            tdl.eval_text(bad)
+
+
+def test_remaining_stdlib_builtins(tdl):
+    assert tdl.eval_text("(last (list 1 2 3))") == 3
+    assert tdl.eval_text("(last (list))") is None
+    assert tdl.eval_text("(min 3 1 2)") == 1
+    assert tdl.eval_text("(abs -7)") == 7
+    assert tdl.eval_text('(string-trim "  x  ")') == "x"
+    assert tdl.eval_text('(string-downcase "ABC")') == "abc"
+    assert tdl.eval_text("(format-number 3.14159 3)") == "3.142"
+    assert tdl.eval_text("(symbol-name 'hello)") == "hello"
+    assert tdl.eval_text("(reduce (lambda (a b) (+ a b)) (list 1 2 3) 10)") \
+        == 16
+    assert tdl.eval_text(
+        "(sort (list 3 1 2) (lambda (x) (- x)))") == [3, 2, 1]

@@ -1,0 +1,61 @@
+"""Tests for the TDL REPL (driven through StringIO)."""
+
+import io
+
+from repro.tdl.repl import format_result, repl
+
+
+def run_session(script: str) -> str:
+    stdout = io.StringIO()
+    repl(stdin=io.StringIO(script), stdout=stdout)
+    return stdout.getvalue()
+
+
+def test_evaluates_and_prints_results():
+    out = run_session("(+ 1 2)\n")
+    assert "3" in out
+    assert out.rstrip().endswith("bye")
+
+
+def test_multiline_form():
+    out = run_session("(defclass note (object)\n"
+                      "  ((title :type string)))\n"
+                      "(make-instance 'note :title \"hi\")\n")
+    assert "<note>" in out
+    assert 'title: "hi"' in out
+
+
+def test_print_output_is_surfaced():
+    out = run_session('(print "hello from tdl")\n')
+    assert "hello from tdl" in out
+
+
+def test_errors_do_not_kill_the_loop():
+    out = run_session("(undefined-function 1)\n(+ 2 2)\n")
+    assert "error:" in out
+    assert "4" in out
+
+
+def test_types_command():
+    out = run_session(",types\n")
+    assert "object" in out
+    assert "property" in out
+
+
+def test_exit_form():
+    out = run_session("(exit)\n(+ 1 1)\n")   # nothing after exit runs
+    assert "2" not in out
+    assert "bye" in out
+
+
+def test_state_persists_across_lines():
+    out = run_session("(define x 41)\n(+ x 1)\n")
+    assert "42" in out
+
+
+def test_format_result_variants():
+    assert format_result(None) == "nil"
+    assert format_result(True) == "t"
+    assert format_result("s") == '"s"'
+    assert format_result([1, 2]) == "(1 2)"
+    assert format_result(3.5) == "3.5"

@@ -1,0 +1,16 @@
+"""Run the doctests embedded in public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.core.namespace
+
+
+@pytest.mark.parametrize("module", [repro, repro.core.namespace],
+                         ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0
