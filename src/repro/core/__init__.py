@@ -4,8 +4,9 @@ and WAN routers."""
 from .subjects import (BadSubjectError, SubjectTrie, is_admin_subject,
                        is_valid_pattern, is_valid_subject, split_subject,
                        subject_matches, validate_pattern, validate_subject)
-from .message import (Envelope, MessageInfo, Packet, PacketKind, QoS,
-                      ENVELOPE_HEADER, PACKET_HEADER)
+from .message import Envelope, MessageInfo, Packet, PacketKind, QoS
+from .wire import (CorruptFrame, decode_packet, encode_envelope,
+                   encode_packet, envelope_wire_size, packet_wire_size)
 from .reliable import (ReliableConfig, ReliableReceiver, ReliableSender,
                        SessionStats)
 from .batching import BatchConfig, Batcher
@@ -22,13 +23,14 @@ from .router import Router, RouterLeg, WanLink
 
 __all__ = [
     "ADVERT_SUBJECT", "BadSubjectError", "BatchConfig", "Batcher",
-    "BusClient", "BusConfig", "BusDaemon", "BusDownError", "DAEMON_PORT",
-    "DiscoveredService", "ENVELOPE_HEADER", "Envelope",
+    "BusClient", "BusConfig", "BusDaemon", "BusDownError", "CorruptFrame",
+    "DAEMON_PORT", "DiscoveredService", "Envelope",
     "GuaranteedConsumer", "GuaranteedPublisher", "InformationBus",
-    "Inquiry", "LedgerEntry", "MessageInfo", "PACKET_HEADER", "Packet",
+    "Inquiry", "LedgerEntry", "MessageInfo", "Packet",
     "ExactlyOnceRmiClient", "FAB_SENSOR_SCHEME", "NEWS_SCHEME",
     "PacketKind", "QoS", "ReliableConfig", "SubjectScheme",
-    "ReliableReceiver",
+    "ReliableReceiver", "decode_packet", "encode_envelope",
+    "encode_packet", "envelope_wire_size", "packet_wire_size",
     "ReliableSender", "Responder", "RmiClient", "RmiError", "RmiServer",
     "Router", "RouterLeg", "ServerGroup", "SessionStats", "SubjectTrie",
     "Subscription", "WanLink", "inquiry_subject", "is_admin_subject",

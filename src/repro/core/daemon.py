@@ -24,6 +24,7 @@ One :class:`BusDaemon` per :class:`~repro.sim.node.Host`:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
@@ -37,6 +38,7 @@ from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
 from .message import Envelope, Packet, PacketKind, QoS
 from .reliable import ReliableConfig, ReliableReceiver, ReliableSender
 from .subjects import SubjectTrie, validate_subject
+from .wire import CorruptFrame, decode_packet, encode_packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from .client import BusClient
@@ -75,6 +77,10 @@ class BusConfig:
     advertise_subscriptions: bool = True
     #: Period of the full subscription-snapshot re-advertisement.
     advert_interval: float = 2.0
+    #: Most guaranteed-delivery ledger ids remembered for deduping
+    #: deliveries to non-durable subscribers; oldest are evicted past
+    #: this, so a long-running daemon's memory stays bounded.
+    seen_ledger_cap: int = 4096
 
 
 class BusDaemon:
@@ -92,6 +98,8 @@ class BusDaemon:
         self.published = 0
         self.delivered = 0
         self.acks_sent = 0
+        #: datagrams dropped because their frame failed wire validation
+        self.corrupt_dropped = 0
         self._started = False
         host.on_crash(self._on_crash)
         host.on_recover(self._on_recover)
@@ -121,7 +129,9 @@ class BusDaemon:
             self.config.retransmit_interval, self._republish_guaranteed)
         self._gcon = GuaranteedConsumer(self.host)
         #: volatile dedupe of guaranteed deliveries to non-durable clients
-        self._seen_ledgers: Set[str] = set()
+        #: (insertion-ordered so the oldest entries can be evicted at the
+        #: configured cap)
+        self._seen_ledgers: "OrderedDict[str, None]" = OrderedDict()
         #: refcounts of advertisable (non-reserved) patterns on this host
         self._public_patterns: Dict[str, int] = {}
         self._advert_timer: Optional[PeriodicTimer] = None
@@ -264,7 +274,10 @@ class BusDaemon:
             return
         packet = Packet(PacketKind.DATA, self.session, envelopes,
                         session_start=self.session_started)
-        self._socket.broadcast(packet, packet.size, DAEMON_PORT)
+        # one encoding per fan-out: the broadcast medium carries these
+        # bytes to every consumer, so publisher cost is independent of
+        # the consumer count (the paper's headline claim)
+        self._socket.broadcast(encode_packet(packet), DAEMON_PORT)
 
     def _send_heartbeat(self) -> None:
         if not self.up or self._sender.last_seq == 0:
@@ -272,13 +285,18 @@ class BusDaemon:
         packet = Packet(PacketKind.HEARTBEAT, self.session,
                         last_seq=self._sender.last_seq,
                         session_start=self.session_started)
-        self._socket.broadcast(packet, packet.size + 8, DAEMON_PORT)
+        self._socket.broadcast(encode_packet(packet), DAEMON_PORT)
 
     # ------------------------------------------------------------------
     # receive path
     # ------------------------------------------------------------------
-    def _on_datagram(self, packet: Packet, size: int, src: Endpoint) -> None:
-        if not isinstance(packet, Packet):
+    def _on_datagram(self, data: bytes, size: int, src: Endpoint) -> None:
+        try:
+            packet = decode_packet(data)
+        except CorruptFrame:
+            # a corrupted frame is indistinguishable from loss; the
+            # NACK/heartbeat machinery repairs the gap
+            self.corrupt_dropped += 1
             return
         if packet.kind is PacketKind.DATA:
             for envelope in packet.envelopes:
@@ -308,7 +326,7 @@ class BusDaemon:
                          count=len(repairs))
         reply = Packet(PacketKind.RETRANS, self.session, repairs,
                        session_start=self.session_started)
-        self._socket.sendto(reply, reply.size, src[0], DAEMON_PORT)
+        self._socket.sendto(encode_packet(reply), src[0], DAEMON_PORT)
 
     def _send_nack(self, session: str, first: int, last: int) -> None:
         if not self.up:
@@ -317,8 +335,7 @@ class BusDaemon:
         packet = Packet(PacketKind.NACK, session, nack_range=(first, last))
         self.tracer.emit(self.sim.now, "nack", session=session, first=first,
                          last=last)
-        self._socket.sendto(packet, packet.size + 16, target_host,
-                            DAEMON_PORT)
+        self._socket.sendto(encode_packet(packet), target_host, DAEMON_PORT)
 
     # ------------------------------------------------------------------
     # delivery to applications
@@ -356,7 +373,9 @@ class BusDaemon:
         if envelope.ledger_id in self._seen_ledgers:
             return
         if clients:
-            self._seen_ledgers.add(envelope.ledger_id)
+            self._seen_ledgers[envelope.ledger_id] = None
+            while len(self._seen_ledgers) > self.config.seen_ledger_cap:
+                self._seen_ledgers.popitem(last=False)
         for client in clients:
             self.delivered += 1
             client._deliver(envelope, retransmitted)
@@ -371,8 +390,7 @@ class BusDaemon:
             # local durable consumer: ack without touching the wire
             self._gpub.handle_ack(envelope.ledger_id, self.host.address)
             return
-        self._socket.sendto(packet, packet.size + 24, origin_host,
-                            DAEMON_PORT)
+        self._socket.sendto(encode_packet(packet), origin_host, DAEMON_PORT)
 
     # ------------------------------------------------------------------
     # introspection helpers (tests, benches, routers)

@@ -11,8 +11,9 @@ Two QoS levels, straight from Section 3.1:
   there are none.
 
 An :class:`Envelope` is what daemons exchange; the application payload is
-already-marshalled bytes (see :mod:`repro.objects.marshal`), so sizes on
-the simulated wire are honest.
+already-marshalled bytes (see :mod:`repro.objects.marshal`), and the
+``size`` properties report the length of the actual wire encoding
+(:mod:`repro.core.wire`) — measured, not accounted.
 """
 
 from __future__ import annotations
@@ -22,13 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-__all__ = ["Envelope", "MessageInfo", "Packet", "PacketKind", "QoS",
-           "ENVELOPE_HEADER", "PACKET_HEADER"]
-
-#: Accounted per-envelope framing bytes (seq, session, qos, lengths).
-ENVELOPE_HEADER = 48
-#: Accounted per-datagram framing bytes.
-PACKET_HEADER = 16
+__all__ = ["Envelope", "MessageInfo", "Packet", "PacketKind", "QoS"]
 
 
 class QoS(enum.Enum):
@@ -72,7 +67,9 @@ class Envelope:
 
     @property
     def size(self) -> int:
-        return ENVELOPE_HEADER + len(self.subject) + len(self.payload)
+        """Bytes this envelope occupies inside a wire frame."""
+        from . import wire
+        return wire.envelope_wire_size(self)
 
 
 @dataclass
@@ -96,7 +93,9 @@ class Packet:
 
     @property
     def size(self) -> int:
-        return PACKET_HEADER + sum(e.size for e in self.envelopes)
+        """Bytes this packet occupies on the wire, framing included."""
+        from . import wire
+        return wire.packet_wire_size(self)
 
 
 @dataclass

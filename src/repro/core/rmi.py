@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..objects import ServiceObject, decode, encode
+from ..objects.marshal import MarshalError
 from ..sim.kernel import Event, PeriodicTimer
 from ..sim.transport import StreamConnection, StreamManager
 from .client import BusClient
@@ -40,9 +41,6 @@ __all__ = ["ExactlyOnceRmiClient", "RmiClient", "RmiError",
 
 _ports = itertools.count(20000)
 _request_ids = itertools.count(1)
-
-#: Accounted request/response framing bytes.
-_RPC_HEADER = 64
 
 #: Reserved subject on which servers announce their existence, so
 #: directory tools can "examine the list of available services on the
@@ -122,7 +120,9 @@ class RmiServer:
         self._load = load or (lambda: float(self.calls_served))
         self._streams = StreamManager(client.sim, client.host, self.port)
         self._streams.listen(self._on_accept)
-        self._reply_cache: Dict[str, dict] = {}
+        #: request id -> encoded reply bytes (marshalled once, replayed
+        #: verbatim for duplicate requests)
+        self._reply_cache: Dict[str, bytes] = {}
         if durable_replies:
             self._reply_cache = client.host.stable.get(self._stable_key, {})
         self._group: Optional[ServerGroup] = None
@@ -187,16 +187,20 @@ class RmiServer:
 
     # ------------------------------------------------------------------
     def _on_accept(self, conn: StreamConnection) -> None:
-        conn.on_message = lambda msg, size: self._on_request(conn, msg)
+        conn.on_message = lambda data, size: self._on_request(conn, data)
 
-    def _on_request(self, conn: StreamConnection, msg: Any) -> None:
+    def _on_request(self, conn: StreamConnection, data: bytes) -> None:
+        try:
+            msg = decode(data, self.service.registry)
+        except MarshalError:
+            return
         if not isinstance(msg, dict) or msg.get("kind") != "call":
             return
         request_id = msg["request_id"]
         cached = self._reply_cache.get(request_id)
         if cached is not None:
             # duplicate request: at-most-once execution, answer from cache
-            conn.send(cached, cached["_size"])
+            conn.send(cached)
             return
         try:
             args = decode(msg["args"], self.service.registry)
@@ -204,20 +208,18 @@ class RmiServer:
             value = encode(result, self.service.registry, inline_types=True)
             reply = {"kind": "reply", "request_id": request_id,
                      "ok": True, "value": value}
-            size = _RPC_HEADER + len(value)
         except Exception as error:
             reply = {"kind": "reply", "request_id": request_id,
                      "ok": False, "error": f"{type(error).__name__}: {error}"}
-            size = _RPC_HEADER + len(reply["error"])
-        reply["_size"] = size
-        self._reply_cache[request_id] = reply
+        encoded = encode(reply)
+        self._reply_cache[request_id] = encoded
         if self.durable_replies:
             # logged before the reply leaves: a crash after execution
             # cannot cause re-execution on retry
             self.client.host.stable.put(self._stable_key,
                                         self._reply_cache)
         self.calls_served += 1
-        conn.send(reply, size)
+        conn.send(encoded)
 
 
 #: chooser signature: List[DiscoveredService] -> DiscoveredService
@@ -233,8 +235,7 @@ def _least_loaded(responses: List[DiscoveredService]) -> DiscoveredService:
 class _PendingCall:
     request_id: str
     op: str
-    payload: dict
-    size: int
+    data: bytes          # the encoded request, ready for (re)transmission
     on_result: Callable[[Any, Optional[str]], None]
     timeout_event: Optional[Event] = None
     done: bool = False
@@ -302,17 +303,16 @@ class RmiClient:
         """
         if request_id is None:
             request_id = f"{self.client.id}#{next(_request_ids)}"
-        payload_bytes = encode(args, self.client.registry, inline_types=True)
-        payload = {"kind": "call", "request_id": request_id, "op": op,
-                   "args": payload_bytes}
-        pending = _PendingCall(request_id, op, payload,
-                               _RPC_HEADER + len(payload_bytes), on_result)
+        args_bytes = encode(args, self.client.registry, inline_types=True)
+        data = encode({"kind": "call", "request_id": request_id, "op": op,
+                       "args": args_bytes})
+        pending = _PendingCall(request_id, op, data, on_result)
         self._pending[request_id] = pending
         pending.timeout_event = self.client.sim.schedule(
             self.call_timeout, self._fail, pending, "timeout",
             name="rmi.timeout")
         if self._conn is not None and self._conn.established:
-            self._conn.send(payload, pending.size)
+            self._conn.send(pending.data)
         else:
             self._queue.append(pending)
             self._ensure_connection()
@@ -353,7 +353,7 @@ class RmiClient:
         host, port = chosen.info["endpoint"]
         conn = self._streams.connect(host, port)
         conn.on_established = self._on_connected
-        conn.on_message = lambda msg, size: self._on_reply(msg)
+        conn.on_message = lambda data, size: self._on_reply(data)
         conn.on_close = self._on_conn_closed
         self._conn = conn
 
@@ -361,7 +361,7 @@ class RmiClient:
         queued, self._queue = self._queue, []
         for pending in queued:
             if not pending.done:
-                self._conn.send(pending.payload, pending.size)
+                self._conn.send(pending.data)
 
     def _on_conn_closed(self, error: Optional[str]) -> None:
         self._conn = None
@@ -376,7 +376,11 @@ class RmiClient:
     # ------------------------------------------------------------------
     # completion
     # ------------------------------------------------------------------
-    def _on_reply(self, msg: Any) -> None:
+    def _on_reply(self, data: bytes) -> None:
+        try:
+            msg = decode(data, self.client.registry)
+        except MarshalError:
+            return
         if not isinstance(msg, dict) or msg.get("kind") != "reply":
             return
         pending = self._pending.pop(msg.get("request_id", ""), None)

@@ -39,8 +39,10 @@ __all__ = ["Router", "RouterLeg", "WanLink"]
 #: each other's re-publications.
 ROUTER_CLIENT_NAME = "_router"
 
-#: Accounted WAN framing bytes per forwarded message.
-_WAN_HEADER = 32
+#: Link-layer overhead the WAN pipe adds per transfer (headers, framing)
+#: on top of the measured payload bytes — the wide-area analogue of
+#: :attr:`~repro.sim.network.CostModel.frame_overhead`.
+_WAN_OVERHEAD = 32
 
 
 @dataclass
@@ -72,7 +74,7 @@ class WanLink:
         self._down = False
 
     def transfer_time(self, size: int) -> float:
-        return (size + _WAN_HEADER) / self.bandwidth_bytes_per_sec
+        return (size + _WAN_OVERHEAD) / self.bandwidth_bytes_per_sec
 
     def send(self, sim: Simulator, from_leg: str, to_leg: str, size: int,
              deliver: Callable[[], None]) -> None:
@@ -206,10 +208,14 @@ class RouterLeg:
         if self.router.store_and_forward and info.qos is QoS.GUARANTEED:
             self._sf_enqueue(subject, obj, info, targets)
             return
+        # marshal once per fan-out; every target leg gets the same bytes
+        data = encode({
+            "subject": subject, "via": list(info.via),
+            "payload": encode(obj, self.router.registry, inline_types=True),
+        })
         for leg_name in targets:
             self.messages_forwarded += 1
-            self.router._ship(self, leg_name, subject, obj, info.size,
-                              info.via)
+            self.router._ship(self, leg_name, data)
 
     # ------------------------------------------------------------------
     # store-and-forward (guaranteed QoS across the WAN)
@@ -241,14 +247,19 @@ class RouterLeg:
         self._sf_arm_timer()
 
     def _sf_ship(self, record: Dict[str, Any]) -> None:
-        size = len(record["wire"]) + len(record["subject"])
+        # the shipped bytes carry everything the target needs; the
+        # "pending" target list is origin-side bookkeeping and stays home
+        data = encode({"sf_id": record["sf_id"],
+                       "subject": record["subject"],
+                       "wire": record["wire"], "via": record["via"]})
         for leg_name in record["pending"]:
-            self.router._ship_sf(self, leg_name, dict(record), size)
+            self.router._ship_sf(self, leg_name, data)
 
-    def _sf_receive(self, origin_name: str, record: Dict[str, Any]) -> None:
+    def _sf_receive(self, origin_name: str, data: bytes) -> None:
         """Target side: dedupe durably, republish as guaranteed, ack."""
         if not self.client.daemon.up:
             return   # origin keeps retrying until we are back
+        record = decode(data, self.router.registry)
         seen = set(self.host.stable.get(self._SF_SEEN, []))
         if record["sf_id"] not in seen:
             seen.add(record["sf_id"])
@@ -308,9 +319,19 @@ class RouterLeg:
                 out |= legs
         return out
 
+    def _wan_receive(self, data: bytes) -> None:
+        """Final hop: decode the WAN bytes and republish on this bus."""
+        msg = decode(data, self.router.registry)
+        obj = decode(msg["payload"], self.router.registry)
+        self.republish(msg["subject"], obj, tuple(msg["via"]))
+
+    def _wants_receive(self, data: bytes) -> None:
+        msg = decode(data, self.router.registry)
+        self.remote_wants(msg["origin"], msg["action"], msg["patterns"])
+
     def republish(self, subject: str, obj: Any,
                   via: tuple = ()) -> None:
-        """Final hop: put a forwarded message onto this leg's bus.
+        """Put a forwarded message onto this leg's bus.
 
         The re-publication is stamped with every router it has
         traversed, including this one — the loop/duplicate guard for
@@ -367,38 +388,37 @@ class Router:
     # ------------------------------------------------------------------
     def _local_wants_changed(self, origin: RouterLeg, action: str,
                              patterns: List[str]) -> None:
-        size = _WAN_HEADER + sum(len(p) for p in patterns)
+        data = encode({"origin": origin.name, "action": action,
+                       "patterns": patterns})
         for leg in self.legs.values():
             if leg is origin:
                 continue
-            self.link.send(
-                self._sim, origin.name, leg.name, size,
-                lambda leg=leg: leg.remote_wants(origin.name, action,
-                                                 patterns))
+            self.link.send(self._sim, origin.name, leg.name, len(data),
+                           lambda leg=leg: leg._wants_receive(data))
 
-    def _ship(self, origin: RouterLeg, target_name: str, subject: str,
-              obj: Any, size: int, via: tuple = ()) -> None:
+    def _ship(self, origin: RouterLeg, target_name: str,
+              data: bytes) -> None:
         target = self.legs.get(target_name)
         if target is None:
             return
-        self.link.send(self._sim, origin.name, target_name, size,
-                       lambda: target.republish(subject, obj, via))
+        self.link.send(self._sim, origin.name, target_name, len(data),
+                       lambda: target._wan_receive(data))
 
     def _ship_sf(self, origin: RouterLeg, target_name: str,
-                 record: Dict[str, Any], size: int) -> None:
+                 data: bytes) -> None:
         target = self.legs.get(target_name)
         if target is None:
             return
-        self.link.send(self._sim, origin.name, target_name, size,
-                       lambda: target._sf_receive(origin.name, record))
+        self.link.send(self._sim, origin.name, target_name, len(data),
+                       lambda: target._sf_receive(origin.name, data))
 
     def _ship_sf_ack(self, origin: RouterLeg, target_name: str,
                      sf_id: str) -> None:
         target = self.legs.get(target_name)
         if target is None:
             return
-        self.link.send(self._sim, origin.name, target_name,
-                       _WAN_HEADER + len(sf_id),
+        data = encode({"sf_id": sf_id, "target": origin.name})
+        self.link.send(self._sim, origin.name, target_name, len(data),
                        lambda: target._sf_acked(origin.name, sf_id))
 
     def stats(self) -> Dict[str, Dict[str, int]]:

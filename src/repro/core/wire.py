@@ -1,0 +1,223 @@
+"""The bus wire codec: every packet the daemons exchange, as real bytes.
+
+The paper's implementation sends marshalled messages as "UDP packets in
+combination with a retransmission protocol" (Section 3.1).  This module
+is that marshalling for the daemon-to-daemon protocol: it encodes every
+:class:`~repro.core.message.Packet` kind (DATA, RETRANS, NACK, HEARTBEAT,
+ACK) and the :class:`~repro.core.message.Envelope`\\ s inside it to a
+length-prefixed, checksummed frame (:mod:`repro.sim.framing`), and
+decodes frames back at the receiving socket boundary — so no object ever
+crosses hosts by reference, sizes on the wire are the sizes of the bytes
+actually sent, and corruption is detectable.
+
+Envelope encodings are cached on the envelope (keyed by its stamped
+``(session, seq)`` identity), so the broadcast path encodes each
+published message exactly once no matter how many consumers hear it, and
+NACK repairs re-send the retained bytes instead of re-marshalling.
+
+Frame body layout (all integers varint unless noted)::
+
+    packet   := kind:u8 flags:u8 session:str session_start:f64
+                last_seq [first last] [ack_ledger_id:str]
+                [ack_consumer:str] count envelope*
+    envelope := flags:u8 subject:str sender:str session:str seq qos:u8
+                publish_time:f64 envelope_id [ledger_id:str]
+                via_count via:str* payload:bytes
+
+``flags`` marks which optional fields follow.  Strings are UTF-8 with a
+varint length prefix; ``f64`` is a big-endian IEEE double.
+"""
+
+from __future__ import annotations
+
+from io import BytesIO
+from typing import Tuple
+
+from ..sim.framing import (CorruptFrame, frame, read_bytes, read_f64,
+                           read_str, read_varint, unframe, write_bytes,
+                           write_f64, write_str, write_varint)
+from .message import Envelope, Packet, PacketKind, QoS
+
+__all__ = ["CorruptFrame", "decode_packet", "encode_envelope",
+           "encode_packet", "envelope_wire_size", "packet_wire_size"]
+
+_KIND_TO_CODE = {
+    PacketKind.DATA: 0,
+    PacketKind.RETRANS: 1,
+    PacketKind.NACK: 2,
+    PacketKind.HEARTBEAT: 3,
+    PacketKind.ACK: 4,
+}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+
+_QOS_TO_CODE = {QoS.RELIABLE: 0, QoS.GUARANTEED: 1}
+_CODE_TO_QOS = {code: qos for qos, code in _QOS_TO_CODE.items()}
+
+# packet flag bits
+_P_NACK_RANGE = 0x01
+_P_ACK_LEDGER = 0x02
+_P_ACK_CONSUMER = 0x04
+
+# envelope flag bits
+_E_LEDGER = 0x01
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+
+def _encode_envelope_body(envelope: Envelope) -> bytes:
+    out = BytesIO()
+    flags = _E_LEDGER if envelope.ledger_id is not None else 0
+    out.write(bytes((flags,)))
+    write_str(out, envelope.subject)
+    write_str(out, envelope.sender)
+    write_str(out, envelope.session)
+    write_varint(out, envelope.seq)
+    out.write(bytes((_QOS_TO_CODE[envelope.qos],)))
+    write_f64(out, envelope.publish_time)
+    write_varint(out, envelope.envelope_id)
+    if envelope.ledger_id is not None:
+        write_str(out, envelope.ledger_id)
+    write_varint(out, len(envelope.via))
+    for hop in envelope.via:
+        write_str(out, hop)
+    write_bytes(out, envelope.payload)
+    return out.getvalue()
+
+
+def encode_envelope(envelope: Envelope) -> bytes:
+    """Encoded body bytes for one envelope (cached on the envelope).
+
+    The cache key is the stamped ``(session, seq)`` identity: stamping by
+    the reliable sender changes both, invalidating any pre-stamp entry,
+    and after stamping envelopes are immutable on the send path — so the
+    broadcast fan-out and every NACK repair reuse one encoding.
+    """
+    cached = getattr(envelope, "_wire_cache", None)
+    key = (envelope.session, envelope.seq)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    body = _encode_envelope_body(envelope)
+    envelope._wire_cache = (key, body)
+    return body
+
+
+def _decode_envelope(data: bytes, pos: int) -> Tuple[Envelope, int]:
+    if pos >= len(data):
+        raise CorruptFrame("truncated envelope")
+    flags = data[pos]
+    pos += 1
+    subject, pos = read_str(data, pos)
+    sender, pos = read_str(data, pos)
+    session, pos = read_str(data, pos)
+    seq, pos = read_varint(data, pos)
+    if pos >= len(data):
+        raise CorruptFrame("truncated envelope qos")
+    try:
+        qos = _CODE_TO_QOS[data[pos]]
+    except KeyError:
+        raise CorruptFrame(f"unknown qos code {data[pos]}") from None
+    pos += 1
+    publish_time, pos = read_f64(data, pos)
+    envelope_id, pos = read_varint(data, pos)
+    ledger_id = None
+    if flags & _E_LEDGER:
+        ledger_id, pos = read_str(data, pos)
+    via_count, pos = read_varint(data, pos)
+    via = []
+    for _ in range(via_count):
+        hop, pos = read_str(data, pos)
+        via.append(hop)
+    payload, pos = read_bytes(data, pos)
+    return Envelope(subject=subject, sender=sender, session=session,
+                    seq=seq, payload=payload, qos=qos, ledger_id=ledger_id,
+                    publish_time=publish_time, via=tuple(via),
+                    envelope_id=envelope_id), pos
+
+
+def envelope_wire_size(envelope: Envelope) -> int:
+    """Bytes this envelope contributes to a packet body."""
+    return len(encode_envelope(envelope))
+
+
+# ----------------------------------------------------------------------
+# packets
+# ----------------------------------------------------------------------
+
+def encode_packet(packet: Packet) -> bytes:
+    """Encode ``packet`` to one checksummed wire frame."""
+    out = BytesIO()
+    try:
+        out.write(bytes((_KIND_TO_CODE[packet.kind],)))
+    except KeyError:
+        raise ValueError(f"unknown packet kind {packet.kind!r}") from None
+    flags = 0
+    if packet.nack_range is not None:
+        flags |= _P_NACK_RANGE
+    if packet.ack_ledger_id is not None:
+        flags |= _P_ACK_LEDGER
+    if packet.ack_consumer is not None:
+        flags |= _P_ACK_CONSUMER
+    out.write(bytes((flags,)))
+    write_str(out, packet.session)
+    write_f64(out, packet.session_start)
+    write_varint(out, packet.last_seq)
+    if packet.nack_range is not None:
+        write_varint(out, packet.nack_range[0])
+        write_varint(out, packet.nack_range[1])
+    if packet.ack_ledger_id is not None:
+        write_str(out, packet.ack_ledger_id)
+    if packet.ack_consumer is not None:
+        write_str(out, packet.ack_consumer)
+    write_varint(out, len(packet.envelopes))
+    for envelope in packet.envelopes:
+        out.write(encode_envelope(envelope))
+    return frame(out.getvalue())
+
+
+def decode_packet(data: bytes) -> Packet:
+    """Decode one wire frame back to a :class:`Packet`.
+
+    Raises :class:`CorruptFrame` on any framing, checksum, or field
+    validation failure — the caller drops the frame and lets the
+    NACK/heartbeat machinery repair the gap.
+    """
+    body = unframe(data)
+    if len(body) < 2:
+        raise CorruptFrame("packet body too short")
+    try:
+        kind = _CODE_TO_KIND[body[0]]
+    except KeyError:
+        raise CorruptFrame(f"unknown packet kind code {body[0]}") from None
+    flags = body[1]
+    pos = 2
+    session, pos = read_str(body, pos)
+    session_start, pos = read_f64(body, pos)
+    last_seq, pos = read_varint(body, pos)
+    nack_range = None
+    if flags & _P_NACK_RANGE:
+        first, pos = read_varint(body, pos)
+        last, pos = read_varint(body, pos)
+        nack_range = (first, last)
+    ack_ledger_id = None
+    if flags & _P_ACK_LEDGER:
+        ack_ledger_id, pos = read_str(body, pos)
+    ack_consumer = None
+    if flags & _P_ACK_CONSUMER:
+        ack_consumer, pos = read_str(body, pos)
+    count, pos = read_varint(body, pos)
+    envelopes = []
+    for _ in range(count):
+        envelope, pos = _decode_envelope(body, pos)
+        envelopes.append(envelope)
+    if pos != len(body):
+        raise CorruptFrame(f"{len(body) - pos} trailing bytes after packet")
+    return Packet(kind, session, envelopes, nack_range=nack_range,
+                  last_seq=last_seq, session_start=session_start,
+                  ack_ledger_id=ack_ledger_id, ack_consumer=ack_consumer)
+
+
+def packet_wire_size(packet: Packet) -> int:
+    """Total bytes ``packet`` occupies on the wire, framing included."""
+    return len(encode_packet(packet))

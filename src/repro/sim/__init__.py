@@ -10,6 +10,7 @@ storage (:class:`~repro.sim.stable_storage.StableStore`).
 """
 
 from .background import BackgroundTraffic
+from .framing import CorruptFrame, FRAME_OVERHEAD, frame, unframe
 from .kernel import Event, PeriodicTimer, SimError, Simulator
 from .network import BROADCAST, Address, CostModel, Frame
 from .node import Host, PortInUseError
@@ -19,8 +20,10 @@ from .transport import DatagramSocket, Endpoint, StreamConnection, StreamManager
 from .trace import TraceRecord, Tracer
 
 __all__ = [
-    "Address", "BROADCAST", "BackgroundTraffic", "CostModel", "DatagramSocket", "Endpoint",
-    "EthernetSegment", "Event", "Frame", "Host", "PeriodicTimer",
-    "PortInUseError", "SimError", "Simulator", "StableStore",
-    "StreamConnection", "StreamManager", "TraceRecord", "Tracer",
+    "Address", "BROADCAST", "BackgroundTraffic", "CorruptFrame",
+    "CostModel", "DatagramSocket", "Endpoint",
+    "EthernetSegment", "Event", "FRAME_OVERHEAD", "Frame", "Host",
+    "PeriodicTimer", "PortInUseError", "SimError", "Simulator",
+    "StableStore", "StreamConnection", "StreamManager", "TraceRecord",
+    "Tracer", "frame", "unframe",
 ]

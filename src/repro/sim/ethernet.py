@@ -10,17 +10,20 @@ delivered to a large number of destinations without a performance penalty"
 * true broadcast — one transmission is seen by every attached host, so
   latency and publisher throughput are independent of the consumer count
   (the Appendix's headline claims);
-* per-receiver loss, duplication, and optional delivery jitter (the
-  network "may lose, delay, and duplicate messages, or deliver messages
-  out of order", Section 2);
+* per-receiver loss, duplication, bit corruption (:attr:`corrupt_rate`),
+  and optional delivery jitter (the network "may lose, delay, and
+  duplicate messages, or deliver messages out of order", Section 2);
 * partitions — the host set can be split into groups that cannot hear
   each other, and later healed.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from typing import Dict, Iterable, List, Optional, Set
 
+from .framing import flip_random_bit
 from .kernel import Simulator
 from .network import BROADCAST, Address, CostModel, Frame
 from .node import Host
@@ -39,10 +42,16 @@ class EthernetSegment:
         self._hosts: Dict[Address, Host] = {}
         self._medium_busy_until = 0.0
         self._partition: Optional[List[Set[Address]]] = None
+        #: per-receiver probability that a frame arrives with one bit
+        #: flipped.  The payload bytes are altered, the receiver's
+        #: checksum fails, and the frame is dropped above the socket —
+        #: exercising the NACK/ARQ repair path end-to-end.
+        self.corrupt_rate = 0.0
         # traffic counters
         self.frames_transmitted = 0
         self.bytes_transmitted = 0
         self.frames_dropped = 0
+        self.frames_corrupted = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -137,6 +146,9 @@ class EthernetSegment:
                     rng.random() < self.cost.loss_probability:
                 self.frames_dropped += 1
                 continue
+            delivered = frame
+            if self.corrupt_rate > 0 and rng.random() < self.corrupt_rate:
+                delivered = self._corrupt(frame, rng)
             copies = 1
             if self.cost.duplicate_probability > 0 and \
                     rng.random() < self.cost.duplicate_probability:
@@ -144,10 +156,29 @@ class EthernetSegment:
             for _ in range(copies):
                 if self.cost.reorder_jitter > 0:
                     delay = rng.random() * self.cost.reorder_jitter
-                    self.sim.schedule(delay, host.deliver_frame, frame,
+                    self.sim.schedule(delay, host.deliver_frame, delivered,
                                       name="ether.jitter")
                 else:
-                    host.deliver_frame(frame)
+                    host.deliver_frame(delivered)
+
+    def _corrupt(self, frame: Frame, rng) -> Frame:
+        """One receiver's copy of ``frame`` with a bit flipped in its bytes.
+
+        Only this receiver's copy is altered (the medium broadcast itself
+        is fine — corruption happens at the NIC).  Frames whose payload
+        does not carry bytes (e.g. injected background traffic) pass
+        through unchanged.
+        """
+        inner = frame.payload
+        data = getattr(inner, "payload", inner)
+        if not isinstance(data, (bytes, bytearray)) or not data:
+            return frame
+        self.frames_corrupted += 1
+        flipped = flip_random_bit(bytes(data), rng)
+        if inner is data:
+            return dataclasses.replace(frame, payload=flipped)
+        return dataclasses.replace(
+            frame, payload=dataclasses.replace(inner, payload=flipped))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<EthernetSegment {self.name} hosts={len(self._hosts)}>"

@@ -1,0 +1,145 @@
+"""Byte-level wire framing: length-prefixed frames with a CRC trailer.
+
+Everything that crosses a simulated socket is real ``bytes``.  A frame is
+
+    +-------+----------------+----------+-----------------+
+    | magic | body length u32|   body   | CRC-32 of body  |
+    |  "IB" |   big-endian   |          |   big-endian    |
+    +-------+----------------+----------+-----------------+
+
+The length prefix lets a receiver reject truncated buffers; the trailing
+checksum lets it reject corrupted ones (see the ``corrupt_rate`` knob on
+:class:`~repro.sim.ethernet.EthernetSegment`).  Any validation failure
+raises :class:`CorruptFrame` — the caller drops the frame and lets the
+retransmission machinery repair the loss, exactly like a UDP checksum
+failure on a real network.
+
+This module also provides the primitive field encoders (varints, strings,
+floats) shared by the packet codec (:mod:`repro.core.wire`) and the
+stream-segment codec (:mod:`repro.sim.transport`).  It sits at the bottom
+of the layering: it knows nothing about envelopes, packets, or segments.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from io import BytesIO
+from typing import Tuple
+
+__all__ = ["CorruptFrame", "FRAME_OVERHEAD", "frame", "unframe",
+           "flip_random_bit", "read_bytes", "read_f64", "read_str",
+           "read_varint", "write_bytes", "write_f64", "write_str",
+           "write_varint"]
+
+_MAGIC = b"IB"
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+_F64 = struct.Struct(">d")
+
+#: Framing bytes added around every body: magic + length + checksum.
+FRAME_OVERHEAD = len(_MAGIC) + _LEN.size + _CRC.size
+
+
+class CorruptFrame(ValueError):
+    """A frame failed validation (bad magic, length, or checksum)."""
+
+
+def frame(body: bytes) -> bytes:
+    """Wrap ``body`` in the magic / length / checksum framing."""
+    return b"".join((_MAGIC, _LEN.pack(len(body)), body,
+                     _CRC.pack(zlib.crc32(body))))
+
+
+def unframe(data: bytes) -> bytes:
+    """Validate framing and return the body; raises :class:`CorruptFrame`."""
+    if len(data) < FRAME_OVERHEAD:
+        raise CorruptFrame(f"frame too short ({len(data)} bytes)")
+    if bytes(data[:2]) != _MAGIC:
+        raise CorruptFrame("bad magic")
+    (length,) = _LEN.unpack_from(data, 2)
+    if length != len(data) - FRAME_OVERHEAD:
+        raise CorruptFrame(
+            f"length prefix {length} != {len(data) - FRAME_OVERHEAD} body bytes")
+    body = bytes(data[6:6 + length])
+    (crc,) = _CRC.unpack_from(data, 6 + length)
+    if crc != zlib.crc32(body):
+        raise CorruptFrame("checksum mismatch")
+    return body
+
+
+def flip_random_bit(data: bytes, rng) -> bytes:
+    """Return a copy of ``data`` with one random bit inverted."""
+    if not data:
+        return data
+    flipped = bytearray(data)
+    bit = rng.randrange(len(flipped) * 8)
+    flipped[bit >> 3] ^= 1 << (bit & 7)
+    return bytes(flipped)
+
+
+# ----------------------------------------------------------------------
+# primitive field codecs
+# ----------------------------------------------------------------------
+
+def write_varint(out: BytesIO, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varint must be non-negative: {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptFrame("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptFrame("varint too long")
+
+
+def write_bytes(out: BytesIO, raw: bytes) -> None:
+    write_varint(out, len(raw))
+    out.write(raw)
+
+
+def read_bytes(data: bytes, pos: int) -> Tuple[bytes, int]:
+    length, pos = read_varint(data, pos)
+    if pos + length > len(data):
+        raise CorruptFrame("truncated bytes field")
+    return bytes(data[pos:pos + length]), pos + length
+
+
+def write_str(out: BytesIO, text: str) -> None:
+    write_bytes(out, text.encode("utf-8"))
+
+
+def read_str(data: bytes, pos: int) -> Tuple[str, int]:
+    raw, pos = read_bytes(data, pos)
+    try:
+        return raw.decode("utf-8"), pos
+    except UnicodeDecodeError as error:
+        raise CorruptFrame(f"invalid UTF-8 in string field: {error}") from None
+
+
+def write_f64(out: BytesIO, value: float) -> None:
+    out.write(_F64.pack(value))
+
+
+def read_f64(data: bytes, pos: int) -> Tuple[float, int]:
+    if pos + 8 > len(data):
+        raise CorruptFrame("truncated float field")
+    return _F64.unpack_from(data, pos)[0], pos + 8

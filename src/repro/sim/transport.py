@@ -10,16 +10,22 @@ point-to-point leg (Sections 3.1 and 3.3).  This module provides both:
 * :class:`StreamManager` / :class:`StreamConnection` — a connection-oriented
   reliable, in-order message stream built on go-back-N ARQ over datagrams.
 
-Payloads are Python objects; sizes are accounted explicitly (the bus layer
-marshals real bytes, so sizes are honest where it matters).
+Everything on the wire is real ``bytes``: datagrams are byte buffers,
+fragments are slices of the buffer, and stream segments are encoded with
+the checksummed framing from :mod:`repro.sim.framing`.  Sizes are measured
+(``len(data)``), never declared by the caller.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from io import BytesIO
+from typing import Callable, Deque, Dict, Optional, Tuple
 
+from .framing import (CorruptFrame, frame, read_bytes, read_varint,
+                      unframe, write_bytes, write_varint)
 from .kernel import Event, Simulator
 from .network import BROADCAST, Address, Frame
 from .node import Host
@@ -27,7 +33,8 @@ from .node import Host
 __all__ = ["DatagramSocket", "StreamManager", "StreamConnection",
            "Endpoint", "FRAGMENT_HEADER"]
 
-#: Bytes of fragmentation header accounted per fragment.
+#: Bytes of fragmentation header accounted per fragment (the simulated
+#: IP-style header carrying datagram id / index / count).
 FRAGMENT_HEADER = 8
 
 #: How long a partially reassembled datagram is kept before being purged.
@@ -43,25 +50,26 @@ class _Fragment:
     datagram_id: int
     index: int
     count: int
-    payload: Any       # full payload rides on every fragment (sim shortcut);
-    total_size: int    # size accounting is done per-fragment on the wire
+    payload: bytes     # this fragment's slice of the datagram buffer
+    total_size: int    # length of the whole datagram, for sanity checks
 
 
 class DatagramSocket:
     """An unreliable datagram endpoint bound to ``(host, port)``.
 
-    ``on_datagram(payload, size, src_endpoint)`` is invoked for each fully
-    reassembled datagram.  Delivery may be lossy, duplicated, or reordered
-    according to the segment's cost model.
+    ``on_datagram(data, size, src_endpoint)`` is invoked with the
+    reassembled byte buffer for each fully received datagram
+    (``size == len(data)``).  Delivery may be lossy, duplicated, corrupted,
+    or reordered according to the segment's fault knobs.
     """
 
     def __init__(self, sim: Simulator, host: Host, port: int,
-                 on_datagram: Callable[[Any, int, Endpoint], None]):
+                 on_datagram: Callable[[bytes, int, Endpoint], None]):
         self.sim = sim
         self.host = host
         self.port = port
         self.on_datagram = on_datagram
-        self._reassembly: Dict[Tuple[Address, int], Dict[int, None]] = {}
+        self._reassembly: Dict[Tuple[Address, int], Dict[int, bytes]] = {}
         self._reassembly_deadline: Dict[Tuple[Address, int], float] = {}
         self.datagrams_sent = 0
         self.datagrams_received = 0
@@ -71,31 +79,33 @@ class DatagramSocket:
         self.host.unbind(self.port)
 
     # ------------------------------------------------------------------
-    def sendto(self, payload: Any, size: int, dst: Address,
-               dst_port: int) -> None:
-        """Send one datagram; fragments transparently above the MTU."""
+    def sendto(self, data: bytes, dst: Address, dst_port: int) -> None:
+        """Send one datagram of ``data``; fragments above the MTU."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"datagram payload must be bytes, "
+                            f"got {type(data).__name__}")
+        data = bytes(data)
+        size = len(data)
         mtu = self.host.cost.mtu
         if size <= mtu:
             frame = Frame(self.host.address, dst, self.port, dst_port,
-                          _Fragment(next(_datagram_ids), 0, 1, payload, size),
+                          _Fragment(next(_datagram_ids), 0, 1, data, size),
                           size)
             self.host.send_frame(frame)
             self.datagrams_sent += 1
             return
         datagram_id = next(_datagram_ids)
         count = (size + mtu - 1) // mtu
-        remaining = size
         for index in range(count):
-            chunk = min(mtu, remaining)
-            remaining -= chunk
-            frag = _Fragment(datagram_id, index, count, payload, size)
+            chunk = data[index * mtu:(index + 1) * mtu]
+            frag = _Fragment(datagram_id, index, count, chunk, size)
             frame = Frame(self.host.address, dst, self.port, dst_port,
-                          frag, chunk + FRAGMENT_HEADER)
+                          frag, len(chunk) + FRAGMENT_HEADER)
             self.host.send_frame(frame)
         self.datagrams_sent += 1
 
-    def broadcast(self, payload: Any, size: int, dst_port: int) -> None:
-        self.sendto(payload, size, BROADCAST, dst_port)
+    def broadcast(self, data: bytes, dst_port: int) -> None:
+        self.sendto(data, BROADCAST, dst_port)
 
     # ------------------------------------------------------------------
     def _on_frame(self, frame: Frame) -> None:
@@ -103,17 +113,18 @@ class DatagramSocket:
         src = (frame.src, frame.src_port)
         if frag.count == 1:
             self.datagrams_received += 1
-            self.on_datagram(frag.payload, frag.total_size, src)
+            self.on_datagram(frag.payload, len(frag.payload), src)
             return
         key = (frame.src, frag.datagram_id)
-        seen = self._reassembly.setdefault(key, {})
-        seen[frag.index] = None
+        chunks = self._reassembly.setdefault(key, {})
+        chunks[frag.index] = frag.payload
         self._reassembly_deadline[key] = self.sim.now + REASSEMBLY_TIMEOUT
-        if len(seen) == frag.count:
+        if len(chunks) == frag.count:
             del self._reassembly[key]
             del self._reassembly_deadline[key]
+            data = b"".join(chunks[i] for i in range(frag.count))
             self.datagrams_received += 1
-            self.on_datagram(frag.payload, frag.total_size, src)
+            self.on_datagram(data, len(data), src)
         elif len(self._reassembly) > 256:
             self._purge_stale()
 
@@ -144,8 +155,8 @@ _conn_ids = itertools.count(1)
 # segment kinds
 _SYN, _SYN_ACK, _DATA, _ACK, _FIN = "syn", "syn_ack", "data", "ack", "fin"
 
-#: Bytes of stream header accounted per segment.
-STREAM_HEADER = 24
+_KIND_TO_CODE = {_SYN: 0, _SYN_ACK: 1, _DATA: 2, _ACK: 3, _FIN: 4}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
 
 
 @dataclass
@@ -153,8 +164,34 @@ class _StreamSeg:
     kind: str
     conn_id: int
     seq: int
-    payload: Any = None
-    size: int = 0
+    payload: bytes = b""
+
+
+def _encode_seg(seg: _StreamSeg) -> bytes:
+    """Encode a stream segment to one checksummed wire frame."""
+    out = BytesIO()
+    out.write(bytes((_KIND_TO_CODE[seg.kind],)))
+    write_varint(out, seg.conn_id)
+    write_varint(out, seg.seq)
+    write_bytes(out, seg.payload)
+    return frame(out.getvalue())
+
+
+def _decode_seg(data: bytes) -> _StreamSeg:
+    """Decode one wire frame back to a segment; raises CorruptFrame."""
+    body = unframe(data)
+    if not body:
+        raise CorruptFrame("empty segment body")
+    try:
+        kind = _CODE_TO_KIND[body[0]]
+    except KeyError:
+        raise CorruptFrame(f"unknown segment kind code {body[0]}") from None
+    conn_id, pos = read_varint(body, 1)
+    seq, pos = read_varint(body, pos)
+    payload, pos = read_bytes(body, pos)
+    if pos != len(body):
+        raise CorruptFrame(f"{len(body) - pos} trailing bytes after segment")
+    return _StreamSeg(kind, conn_id, seq, payload)
 
 
 class StreamConnection:
@@ -179,13 +216,13 @@ class StreamConnection:
         self.initiator = initiator
         self.established = not initiator   # responder is live on SYN
         self.closed = False
-        self.on_message: Optional[Callable[[Any, int], None]] = None
+        self.on_message: Optional[Callable[[bytes, int], None]] = None
         self.on_close: Optional[Callable[[Optional[str]], None]] = None
         self.on_established: Optional[Callable[[], None]] = None
         # send side
         self._next_seq = 0
-        self._unacked: Dict[int, Tuple[Any, int]] = {}
-        self._send_queue: List[Tuple[Any, int]] = []
+        self._unacked: Dict[int, bytes] = {}
+        self._send_queue: Deque[bytes] = deque()
         self._retry_event: Optional[Event] = None
         self._retries = 0
         self._rto = self.INITIAL_RTO
@@ -200,11 +237,14 @@ class StreamConnection:
     def local_endpoint(self) -> Endpoint:
         return (self._manager.host.address, self._manager.port)
 
-    def send(self, message: Any, size: int) -> None:
-        """Queue ``message`` for reliable, in-order delivery to the peer."""
+    def send(self, data: bytes) -> None:
+        """Queue ``data`` for reliable, in-order delivery to the peer."""
         if self.closed:
             raise RuntimeError("connection is closed")
-        self._send_queue.append((message, size))
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"stream payload must be bytes, "
+                            f"got {type(data).__name__}")
+        self._send_queue.append(bytes(data))
         self._pump()
 
     def close(self, error: Optional[str] = None) -> None:
@@ -215,7 +255,7 @@ class StreamConnection:
         self._cancel_timers()
         if error is None and self.established:
             self._manager._send_seg(self.peer, _StreamSeg(
-                _FIN, self.conn_id, self._next_seq), STREAM_HEADER)
+                _FIN, self.conn_id, self._next_seq))
         self._manager._forget(self.conn_id)
         if self.on_close is not None:
             self.on_close(error)
@@ -235,8 +275,7 @@ class StreamConnection:
         if self._syn_tries > self.MAX_RETRIES:
             self.close(error="connect timed out")
             return
-        self._manager._send_seg(self.peer, _StreamSeg(
-            _SYN, self.conn_id, 0), STREAM_HEADER)
+        self._manager._send_seg(self.peer, _StreamSeg(_SYN, self.conn_id, 0))
         self._syn_event = self.sim.schedule(
             self._rto * self._syn_tries, self._start_connect, name="syn.retry")
 
@@ -256,17 +295,16 @@ class StreamConnection:
         if not self.established or self.closed:
             return
         while self._send_queue and len(self._unacked) < self.WINDOW:
-            message, size = self._send_queue.pop(0)
+            data = self._send_queue.popleft()
             seq = self._next_seq
             self._next_seq += 1
-            self._unacked[seq] = (message, size)
+            self._unacked[seq] = data
             self._transmit(seq)
         self._arm_retry()
 
     def _transmit(self, seq: int) -> None:
-        message, size = self._unacked[seq]
         self._manager._send_seg(self.peer, _StreamSeg(
-            _DATA, self.conn_id, seq, message, size), size + STREAM_HEADER)
+            _DATA, self.conn_id, seq, self._unacked[seq]))
 
     def _arm_retry(self) -> None:
         if self._retry_event is not None or not self._unacked:
@@ -289,11 +327,13 @@ class StreamConnection:
 
     def _on_ack(self, seq: int) -> None:
         """Cumulative ack: everything below ``seq`` is delivered."""
+        # any ack is proof the peer is alive — retransmit exhaustion should
+        # mean unreachability, not a lossy stretch on a reachable path
+        self._retries = 0
         acked = [s for s in self._unacked if s < seq]
         for s in acked:
             del self._unacked[s]
         if acked:
-            self._retries = 0
             self._rto = self.INITIAL_RTO
             if self._retry_event is not None:
                 self._retry_event.cancel()
@@ -304,10 +344,10 @@ class StreamConnection:
         if seg.seq == self._next_expected:
             self._next_expected += 1
             if self.on_message is not None:
-                self.on_message(seg.payload, seg.size)
+                self.on_message(seg.payload, len(seg.payload))
         # ack what we have so far (duplicates and out-of-order re-ack)
         self._manager._send_seg(self.peer, _StreamSeg(
-            _ACK, self.conn_id, self._next_expected), STREAM_HEADER)
+            _ACK, self.conn_id, self._next_expected))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<StreamConnection {self.local_endpoint}->{self.peer} "
@@ -329,6 +369,8 @@ class StreamManager:
         self._socket = DatagramSocket(sim, host, port, self._on_datagram)
         self._on_accept: Optional[Callable[[StreamConnection], None]] = None
         self._conns: Dict[int, StreamConnection] = {}
+        #: segments dropped because their frame failed validation
+        self.corrupt_dropped = 0
 
     @property
     def endpoint(self) -> Endpoint:
@@ -354,13 +396,17 @@ class StreamManager:
     def _forget(self, conn_id: int) -> None:
         self._conns.pop(conn_id, None)
 
-    def _send_seg(self, peer: Endpoint, seg: _StreamSeg, size: int) -> None:
+    def _send_seg(self, peer: Endpoint, seg: _StreamSeg) -> None:
         if not self.host.up:
             return
-        self._socket.sendto(seg, size, peer[0], peer[1])
+        self._socket.sendto(_encode_seg(seg), peer[0], peer[1])
 
-    def _on_datagram(self, seg: _StreamSeg, size: int, src: Endpoint) -> None:
-        if not isinstance(seg, _StreamSeg):
+    def _on_datagram(self, data: bytes, size: int, src: Endpoint) -> None:
+        try:
+            seg = _decode_seg(data)
+        except CorruptFrame:
+            # a corrupted segment is just loss; ARQ repairs it
+            self.corrupt_dropped += 1
             return
         conn = self._conns.get(seg.conn_id)
         if seg.kind == _SYN:
@@ -372,8 +418,7 @@ class StreamManager:
                 self._conns[seg.conn_id] = conn
                 self._on_accept(conn)
             # (re)confirm — SYNs may be duplicated or retried
-            self._send_seg(src, _StreamSeg(_SYN_ACK, seg.conn_id, 0),
-                           STREAM_HEADER)
+            self._send_seg(src, _StreamSeg(_SYN_ACK, seg.conn_id, 0))
         elif conn is None:
             return   # stale segment for a closed connection
         elif seg.kind == _SYN_ACK:

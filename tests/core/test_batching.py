@@ -29,12 +29,14 @@ def test_disabled_batcher_passes_through():
 
 def test_size_threshold_flushes_synchronously():
     sim = Simulator()
-    # each envelope ~101 bytes (48 header + 3 subject + 50 payload)
-    batcher, batches = make_batcher(sim, batch_bytes=300)
+    # pick a threshold two envelopes stay under and three cross
+    # (sizes are measured from the wire encoding)
+    threshold = int(envelope().size * 2.5)
+    batcher, batches = make_batcher(sim, batch_bytes=threshold)
     batcher.add(envelope())
     batcher.add(envelope())
     assert batches == []              # still under threshold
-    batcher.add(envelope())           # crosses 300 accumulated bytes
+    batcher.add(envelope())           # crosses the accumulated-bytes cap
     assert len(batches) == 1
     assert len(batches[0]) == 3
     assert batcher.pending == 0

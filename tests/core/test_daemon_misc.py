@@ -144,3 +144,42 @@ def test_max_depth_subject_accepted():
     bus.client("node00", "feed").publish(deep, 1)
     bus.settle(1.0)
     assert got == [deep]
+
+
+def test_seen_ledger_dedupe_is_bounded():
+    """The guaranteed-delivery dedupe memory evicts oldest past the cap.
+
+    Non-durable subscribers never ack, so the publisher keeps
+    republishing; the dedupe set must not grow with the number of
+    distinct guaranteed messages ever seen.
+    """
+    config = BusConfig(seen_ledger_cap=10)
+    bus = InformationBus(seed=9, cost=CostModel.ideal(), config=config)
+    bus.add_hosts(2)
+    got = []
+    # a NON-durable subscriber: deliveries dedupe through _seen_ledgers
+    bus.client("node01", "mon").subscribe("g.>",
+                                          lambda s, p, i: got.append(p["n"]))
+    pub = bus.client("node00", "feed")
+    for n in range(40):
+        pub.publish(f"g.{n}", {"n": n}, qos=QoS.GUARANTEED)
+    bus.settle(5.0)
+    daemon = bus.daemon("node01")
+    assert set(got) == set(range(40))           # everything delivered...
+    assert len(daemon._seen_ledgers) <= 10      # ...memory stays bounded
+
+
+def test_seen_ledger_cap_above_working_set_dedupes_exactly():
+    """With the cap covering the in-flight window, no duplicates leak."""
+    config = BusConfig(seen_ledger_cap=100)
+    bus = InformationBus(seed=9, cost=CostModel.ideal(), config=config)
+    bus.add_hosts(2)
+    got = []
+    bus.client("node01", "mon").subscribe("g.>",
+                                          lambda s, p, i: got.append(p["n"]))
+    pub = bus.client("node00", "feed")
+    for n in range(40):
+        pub.publish(f"g.{n}", {"n": n}, qos=QoS.GUARANTEED)
+    bus.settle(5.0)   # several republish rounds: dedupe absorbs them all
+    assert sorted(got) == list(range(40))
+    assert len(bus.daemon("node01")._seen_ledgers) <= 100

@@ -1,7 +1,8 @@
-"""Unit tests for envelopes, packets, and size accounting."""
+"""Unit tests for envelopes, packets, and measured size accounting."""
 
-from repro.core import (ENVELOPE_HEADER, Envelope, PACKET_HEADER, Packet,
-                        PacketKind, QoS)
+from repro.core import (Envelope, Packet, PacketKind, QoS, encode_envelope,
+                        encode_packet)
+from repro.sim.framing import FRAME_OVERHEAD
 
 
 def envelope(subject="a.b", payload=b"x" * 10):
@@ -9,20 +10,30 @@ def envelope(subject="a.b", payload=b"x" * 10):
                     payload=payload)
 
 
-def test_envelope_size_accounting():
+def test_envelope_size_is_encoded_length():
     e = envelope(subject="news.equity.gmc", payload=b"x" * 100)
-    assert e.size == ENVELOPE_HEADER + len("news.equity.gmc") + 100
+    assert e.size == len(encode_envelope(e))
 
 
-def test_packet_size_sums_envelopes():
+def test_envelope_size_grows_with_payload_and_subject():
+    small = envelope(subject="a.b", payload=b"x" * 10)
+    bigger_payload = envelope(subject="a.b", payload=b"x" * 110)
+    longer_subject = envelope(subject="a.b.much.longer", payload=b"x" * 10)
+    assert bigger_payload.size == small.size + 100
+    assert longer_subject.size == small.size + len(".much.longer")
+
+
+def test_packet_size_is_frame_length():
     envelopes = [envelope(), envelope(subject="c.d", payload=b"y" * 20)]
     packet = Packet(PacketKind.DATA, "h#0", envelopes)
-    assert packet.size == PACKET_HEADER + sum(e.size for e in envelopes)
+    assert packet.size == len(encode_packet(packet))
+    assert packet.size >= sum(e.size for e in envelopes) + FRAME_OVERHEAD
 
 
-def test_empty_packet_is_header_only():
+def test_empty_packet_has_framing_only():
     packet = Packet(PacketKind.HEARTBEAT, "h#0", last_seq=7)
-    assert packet.size == PACKET_HEADER
+    assert packet.size == len(encode_packet(packet))
+    assert packet.size < 64   # headers, not payload
     assert packet.last_seq == 7
 
 

@@ -135,15 +135,13 @@ def test_duplicate_request_answered_from_cache():
     rmi = RmiClient(bus.client("node00", "trader"), "svc.quotes")
     value, error = call_sync(bus, rmi, "symbols", {})
     assert error is None
-    # replay the exact same request at the transport level
-    request_id = f"{rmi.client.id}#replayed"
-    payload = dict(kind="call", request_id=request_id, op="symbols",
-                   args=rmi._pending or None)
-    # simpler: send the previous request id again via a raw call
+    # replay the same request id at the transport level: encode a raw
+    # call frame just like the client would
+    from repro.objects import encode
     first_cached = list(server._reply_cache)[0]
     conn = rmi._conn
-    conn.send({"kind": "call", "request_id": first_cached,
-               "op": "symbols", "args": b""}, 64)
+    conn.send(encode({"kind": "call", "request_id": first_cached,
+                      "op": "symbols", "args": b""}))
     bus.run_for(1.0)
     assert counter["n"] == 1   # served from the reply cache
 

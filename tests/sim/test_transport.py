@@ -21,9 +21,16 @@ def test_datagram_roundtrip():
     got = []
     DatagramSocket(sim, b, 40, lambda p, s, src: got.append((p, s, src)))
     sa = DatagramSocket(sim, a, 41, lambda *x: None)
-    sa.sendto("ping", 20, "node1", 40)
+    sa.sendto(b"p" * 20, "node1", 40)
     sim.run()
-    assert got == [("ping", 20, ("node0", 41))]
+    assert got == [(b"p" * 20, 20, ("node0", 41))]
+
+
+def test_datagram_rejects_non_bytes():
+    sim, lan, (a, b) = make_lan()
+    sa = DatagramSocket(sim, a, 41, lambda *x: None)
+    with pytest.raises(TypeError):
+        sa.sendto("a string, not bytes", "node1", 40)
 
 
 def test_datagram_broadcast():
@@ -34,7 +41,7 @@ def test_datagram_broadcast():
         DatagramSocket(sim, h, 40, lambda p, s, src, box=box: box.append(p))
         counts.append(box)
     sender = DatagramSocket(sim, hosts[0], 41, lambda *x: None)
-    sender.broadcast("hello", 10, 40)
+    sender.broadcast(b"hello world", 40)
     sim.run()
     assert [len(box) for box in counts] == [0, 1, 1, 1]
 
@@ -46,9 +53,12 @@ def test_large_datagram_fragments_and_reassembles():
     got = []
     DatagramSocket(sim, b, 40, lambda p, s, src: got.append((p, s)))
     sa = DatagramSocket(sim, a, 41, lambda *x: None)
-    sa.sendto("big", 950, "node1", 40)
+    data = bytes(range(256)) * 3 + b"tail" * 45 + b"xx"   # 950 bytes
+    assert len(data) == 950
+    sa.sendto(data, "node1", 40)
     sim.run()
-    assert got == [("big", 950)]
+    # reassembly joins the sliced fragments back into the same buffer
+    assert got == [(data, 950)]
     # 950 bytes over a 100-byte MTU = 10 frames on the wire
     assert lan.frames_transmitted == 10
 
@@ -61,7 +71,7 @@ def test_lost_fragment_loses_whole_datagram():
     got = []
     DatagramSocket(sim, b, 40, lambda p, s, src: got.append(p))
     sa = DatagramSocket(sim, a, 41, lambda *x: None)
-    sa.sendto("big", 1000, "node1", 40)
+    sa.sendto(b"b" * 1000, "node1", 40)
     sim.run()
     assert got == []   # with p=0.5 per frame, all 10 surviving is ~0.1%
 
@@ -70,8 +80,8 @@ def test_datagram_counters():
     sim, lan, (a, b) = make_lan()
     sb = DatagramSocket(sim, b, 40, lambda *x: None)
     sa = DatagramSocket(sim, a, 41, lambda *x: None)
-    sa.sendto("one", 10, "node1", 40)
-    sa.sendto("two", 10, "node1", 40)
+    sa.sendto(b"one" * 3, "node1", 40)
+    sa.sendto(b"two" * 3, "node1", 40)
     sim.run()
     assert sa.datagrams_sent == 2
     assert sb.datagrams_received == 2
@@ -100,10 +110,10 @@ def test_stream_connect_and_send():
 
     mgrs[1].listen(on_accept)   # replace collector with real handler
     conn2 = mgrs[0].connect("node1", 50)
-    conn2.send("hello", 10)
-    conn2.send("world", 10)
+    conn2.send(b"hello")
+    conn2.send(b"world")
     sim.run()
-    assert got == ["hello", "world"]
+    assert got == [b"hello", b"world"]
 
 
 def test_stream_in_order_delivery_under_loss():
@@ -119,9 +129,9 @@ def test_stream_in_order_delivery_under_loss():
     server.listen(on_accept)
     client = StreamManager(sim, a, 51)
     conn = client.connect("node1", 50)
-    msgs = [f"m{i}" for i in range(40)]
+    msgs = [f"m{i:02d}".encode() for i in range(40)]
     for m in msgs:
-        conn.send(m, 10)
+        conn.send(m)
     sim.run()
     assert got == msgs   # exactly once, in order, despite 20% frame loss
 
@@ -171,7 +181,7 @@ def test_peer_crash_detected_by_retransmit_exhaustion():
     errors = []
     conn.on_close = errors.append
     sim.schedule(0.5, b.crash)
-    sim.schedule(1.0, conn.send, "lost", 10)
+    sim.schedule(1.0, conn.send, b"lost")
     sim.run()
     assert errors == ["peer unreachable"]
 
@@ -182,7 +192,7 @@ def test_send_on_closed_connection_raises():
     conn = client.connect("node1", 50)
     conn.close()
     with pytest.raises(RuntimeError):
-        conn.send("x", 1)
+        conn.send(b"x")
 
 
 def test_fin_closes_peer():
@@ -208,6 +218,6 @@ def test_stream_window_respects_backpressure():
     conn = client.connect("node1", 50)
     n = conn.WINDOW * 4
     for i in range(n):
-        conn.send(i, 10)
+        conn.send(f"{i:03d}".encode())
     sim.run()
-    assert got == list(range(n))
+    assert got == [f"{i:03d}".encode() for i in range(n)]

@@ -22,7 +22,7 @@ def test_datagram_exactly_at_mtu_is_single_frame():
     got = []
     DatagramSocket(sim, b, 40, lambda p, s, src: got.append(s))
     sender = DatagramSocket(sim, a, 41, lambda *x: None)
-    sender.sendto("x", 100, "node1", 40)
+    sender.sendto(b"x" * 100, "node1", 40)
     sim.run()
     assert got == [100]
     assert lan.frames_transmitted == 1
@@ -35,12 +35,27 @@ def test_datagram_one_byte_over_mtu_fragments():
     got = []
     DatagramSocket(sim, b, 40, lambda p, s, src: got.append(s))
     sender = DatagramSocket(sim, a, 41, lambda *x: None)
-    sender.sendto("x", 101, "node1", 40)
+    sender.sendto(b"x" * 101, "node1", 40)
     sim.run()
     assert got == [101]
     assert lan.frames_transmitted == 2
     # each fragment pays the fragmentation header on the wire
     assert lan.bytes_transmitted == 101 + 2 * FRAGMENT_HEADER
+
+
+def test_fragments_carry_slices_not_copies():
+    """Each fragment frame carries only its slice of the buffer."""
+    cost = CostModel.ideal()
+    cost.mtu = 100
+    sim, lan, (a, b) = make_lan(cost)
+    slices = []
+    b.bind(40, lambda frame: slices.append(frame.payload.payload))
+    sender = DatagramSocket(sim, a, 41, lambda *x: None)
+    data = bytes(i % 256 for i in range(250))
+    sender.sendto(data, "node1", 40)
+    sim.run()
+    assert [len(s) for s in slices] == [100, 100, 50]
+    assert b"".join(slices) == data
 
 
 def test_interleaved_fragmented_datagrams_reassemble():
@@ -51,10 +66,10 @@ def test_interleaved_fragmented_datagrams_reassemble():
     got = []
     DatagramSocket(sim, b, 40, lambda p, s, src: got.append((p, s)))
     sender = DatagramSocket(sim, a, 41, lambda *x: None)
-    sender.sendto("first", 170, "node1", 40)
-    sender.sendto("second", 230, "node1", 40)
+    sender.sendto(b"f" * 170, "node1", 40)
+    sender.sendto(b"s" * 230, "node1", 40)
     sim.run()
-    assert sorted(got) == [("first", 170), ("second", 230)]
+    assert sorted(got) == [(b"f" * 170, 170), (b"s" * 230, 230)]
 
 
 def test_reassembly_buffer_purges_stale_fragments():
@@ -67,7 +82,7 @@ def test_reassembly_buffer_purges_stale_fragments():
     # do arrive strand in the reassembly buffer
     cost.loss_probability = 0.5
     for i in range(600):
-        sender.sendto(i, 120, "node1", 40)
+        sender.sendto(bytes([i % 256]) * 120, "node1", 40)
     sim.run_until(10.0)
     # the purge path keeps the buffer bounded (256 + recent additions)
     assert len(receiver._reassembly) <= 300
@@ -82,13 +97,13 @@ def test_stream_close_midstream_drops_queue():
     client = StreamManager(sim, a, 51)
     conn = client.connect("node1", 50)
     for i in range(5):
-        conn.send(i, 10)
+        conn.send(f"{i}".encode())
     sim.run_until(0.001)       # a moment: some in flight, some queued
     conn.close()
     sim.run_until(5.0)
     assert got == sorted(got)  # whatever arrived is prefix-ordered
     with pytest.raises(RuntimeError):
-        conn.send(99, 1)
+        conn.send(b"99")
 
 
 def test_two_connections_between_same_hosts_are_independent():
@@ -104,13 +119,13 @@ def test_two_connections_between_same_hosts_are_independent():
     client = StreamManager(sim, a, 51)
     c1 = client.connect("node1", 50)
     c2 = client.connect("node1", 50)
-    c1.send("one-a", 5)
-    c2.send("two-a", 5)
-    c1.send("one-b", 5)
+    c1.send(b"one-a")
+    c2.send(b"two-a")
+    c1.send(b"one-b")
     sim.run()
     boxes = sorted(inboxes.values(), key=len, reverse=True)
-    assert boxes[0] == ["one-a", "one-b"]
-    assert boxes[1] == ["two-a"]
+    assert boxes[0] == [b"one-a", b"one-b"]
+    assert boxes[1] == [b"two-a"]
 
 
 def test_stream_survives_duplicated_syn():
@@ -126,7 +141,7 @@ def test_stream_survives_duplicated_syn():
     client = StreamManager(sim, a, 51)
     conn = client.connect("node1", 50)
     for i in range(10):
-        conn.send(i, 10)
+        conn.send(f"{i}".encode())
     sim.run()
     assert len(accepted) == 1          # duplicate SYNs: one connection
-    assert got == list(range(10))
+    assert got == [f"{i}".encode() for i in range(10)]
