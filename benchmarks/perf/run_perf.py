@@ -1,0 +1,357 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness for the publish→deliver hot path.
+
+The figure benches (``benchmarks/test_fig*.py``) measure *simulated*
+time — the paper's axes.  This harness measures the *simulator's own*
+wall-clock cost, the ceiling on how much traffic a run can push through:
+
+* ``fanout`` — a full end-to-end scenario: 1 publisher, 8 consumer
+  daemons on one broadcast segment, repeated subjects (the Figs 5–8
+  shape).  Exercises every layer: publish, encode-once broadcast,
+  per-receiver decode, subject matching, reliable delivery.
+* ``trie_match`` — `SubjectTrie.match` alone, steady-state repeated
+  subjects against a large subscription table.
+* ``codec_decode`` — `decode_packet` alone on one encoded DATA frame,
+  the per-receiver cost of hearing a broadcast.
+
+Each bench runs twice: with the caches disabled (the escape hatches:
+``match_memo_capacity=0`` and ``configure_decode_memo(0)`` — the pre-PR
+cost shape) and enabled (the defaults).  Both numbers land in
+``BENCH_core.json`` at the repo root, the first datapoint of the perf
+trajectory; future PRs append comparable runs rather than regress
+silently.
+
+Before timing anything the harness proves cache honesty: a fixed-seed
+scenario with bit-flip corruption and a mid-stream subscribe/unsubscribe
+must produce *identical* per-consumer delivery sequences, trace output,
+and corruption counters with caches on and off.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py            # full
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src"
+if str(SRC) not in sys.path:                       # repo-relative fallback
+    sys.path.insert(0, str(SRC))
+
+from repro.core import (BusConfig, InformationBus, SubjectTrie,  # noqa: E402
+                        decode_packet, encode_packet)
+from repro.core import wire                                      # noqa: E402
+from repro.core import message                                   # noqa: E402
+from repro.core.message import Envelope, Packet, PacketKind      # noqa: E402
+from repro.objects import encode                                 # noqa: E402
+from repro.sim import CostModel, Tracer                          # noqa: E402
+
+CONSUMERS = 8
+SUBJECT_CYCLE = [f"feed.equity.s{i}" for i in range(8)]
+
+
+def _reset_envelope_ids() -> None:
+    """Rewind the process-global envelope-id counter.
+
+    ``envelope_id`` rides the wire as a varint, so two runs in one process
+    only produce byte-identical frames (and hence identical simulated
+    timings) if both start the counter from the same point.  This is
+    process state, not randomness — same initial conditions is exactly
+    what a same-seed comparison means.
+    """
+    import itertools
+    message._envelope_ids = itertools.count(1)
+
+
+def _configure_caches(enabled: bool) -> BusConfig:
+    """Flip both cache layers at once; returns a matching BusConfig."""
+    wire.configure_decode_memo(
+        wire.DEFAULT_DECODE_MEMO_CAPACITY if enabled else 0)
+    return BusConfig(match_memo_capacity=None if enabled else 0)
+
+
+# ----------------------------------------------------------------------
+# fan-out: the end-to-end hot path
+# ----------------------------------------------------------------------
+
+def _fanout_once(messages: int, caches: bool, seed: int = 2026) -> dict:
+    _reset_envelope_ids()
+    config = _configure_caches(caches)
+    bus = InformationBus(seed=seed, cost=CostModel.ideal(), config=config)
+    bus.add_hosts(CONSUMERS + 1)
+    counts = [0] * CONSUMERS
+    # each consumer holds several overlapping wildcard subscriptions (the
+    # Figure 8 shape: applications subscribe to whole subtrees, not single
+    # subjects), all matching the published feed
+    patterns = ["feed.>", "feed.equity.>", "feed.equity.*"]
+    for i in range(CONSUMERS):
+        def on_message(subject, obj, info, i=i):
+            counts[i] += 1
+        consumer = bus.client(f"node{i + 1:02d}", "consumer")
+        for pattern in patterns:
+            consumer.subscribe(pattern, on_message)
+    publisher = bus.client("node00", "pub")
+    payload = encode({"tick": 1}, publisher.registry, inline_types=False)
+
+    start = time.perf_counter()
+    for n in range(messages):
+        publisher.publish_bytes(SUBJECT_CYCLE[n & 7], payload)
+    bus.settle(10.0)
+    elapsed = time.perf_counter() - start
+
+    expected = messages * CONSUMERS * len(patterns)
+    deliveries = sum(counts)
+    assert deliveries == expected, (
+        f"fan-out lost messages: {deliveries} != {expected}")
+    return {"elapsed": elapsed, "deliveries": deliveries}
+
+
+def bench_fanout(messages: int, repeats: int) -> dict:
+    result = {"messages": messages, "consumers": CONSUMERS,
+              "repeats": repeats}
+    for label, caches in (("baseline", False), ("cached", True)):
+        best = min(_fanout_once(messages, caches)["elapsed"]
+                   for _ in range(repeats))
+        result[f"{label}_msgs_per_sec"] = round(messages / best, 1)
+        result[f"{label}_deliveries_per_sec"] = round(
+            messages * CONSUMERS / best, 1)
+    result["speedup"] = round(
+        result["cached_msgs_per_sec"] / result["baseline_msgs_per_sec"], 2)
+    return result
+
+
+# ----------------------------------------------------------------------
+# trie matching alone
+# ----------------------------------------------------------------------
+
+def bench_trie(iterations: int, repeats: int, patterns: int = 2000) -> dict:
+    subjects = [f"feed.equity.s{i:04d}" for i in range(32)]
+    result = {"iterations": iterations, "patterns": patterns + 2,
+              "repeats": repeats}
+    expected = None
+    for label, capacity in (("baseline", 0), ("cached", 1024)):
+        trie: SubjectTrie = SubjectTrie(memo_capacity=capacity)
+        for i in range(patterns):
+            trie.insert(f"feed.equity.s{i:04d}", i)
+        trie.insert("feed.>", "tail")
+        trie.insert("feed.*.s0001", "star")
+        best, checksum = None, 0
+        for _ in range(repeats):
+            total = 0
+            start = time.perf_counter()
+            for n in range(iterations):
+                total += len(trie.match(subjects[n & 31]))
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+            checksum = total
+        if expected is None:
+            expected = checksum
+        assert checksum == expected, "memo changed match results"
+        result[f"{label}_matches_per_sec"] = round(iterations / best, 1)
+    result["speedup"] = round(result["cached_matches_per_sec"]
+                              / result["baseline_matches_per_sec"], 2)
+    return result
+
+
+# ----------------------------------------------------------------------
+# wire codec alone
+# ----------------------------------------------------------------------
+
+def bench_codec(iterations: int, repeats: int) -> dict:
+    envelopes = [Envelope(subject=SUBJECT_CYCLE[i & 7], sender="node00.pub",
+                          session="node00#0", seq=i + 1, payload=b"x" * 64,
+                          publish_time=0.25)
+                 for i in range(4)]
+    data = encode_packet(Packet(PacketKind.DATA, "node00#0", envelopes,
+                                last_seq=4, session_start=0.0))
+    result = {"iterations": iterations, "frame_bytes": len(data),
+              "envelopes_per_frame": len(envelopes), "repeats": repeats}
+    reference = None
+    for label, capacity in (("baseline", 0), ("cached", 256)):
+        wire.configure_decode_memo(capacity)
+        best = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(iterations):
+                packet = decode_packet(data)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        decoded = [(e.subject, e.seq, e.payload) for e in packet.envelopes]
+        if reference is None:
+            reference = decoded
+        assert decoded == reference, "memo changed decode results"
+        result[f"{label}_decodes_per_sec"] = round(iterations / best, 1)
+    result["speedup"] = round(result["cached_decodes_per_sec"]
+                              / result["baseline_decodes_per_sec"], 2)
+    return result
+
+
+# ----------------------------------------------------------------------
+# cache honesty: same seed, caches on/off, identical observable behaviour
+# ----------------------------------------------------------------------
+
+def _determinism_once(caches: bool, messages: int, seed: int = 77) -> dict:
+    """A hostile fixed-seed scenario: corruption faults plus a mid-stream
+    subscribe and unsubscribe (the memo-invalidation edges)."""
+    _reset_envelope_ids()
+    config = _configure_caches(caches)
+    tracer = Tracer(enabled=True)
+    bus = InformationBus(seed=seed, cost=CostModel.ideal(), config=config,
+                         tracer=tracer)
+    bus.add_hosts(5)
+    bus.lan.corrupt_rate = 0.12
+    inboxes: dict = {}
+    for i in range(1, 4):
+        address = f"node{i:02d}"
+        box: list = []
+        inboxes[address] = box
+        bus.client(address, "mon").subscribe(
+            "feed.>", lambda s, p, info, box=box: box.append((s, p["n"])))
+
+    late = bus.client("node04", "late")
+    late_box: list = []
+    inboxes["node04"] = late_box
+    state: dict = {}
+
+    def join():       # subscribe mid-stream: must take effect immediately
+        state["sub"] = late.subscribe(
+            "feed.>", lambda s, p, info: late_box.append((s, p["n"])))
+
+    def leave():      # unsubscribe mid-stream: no stale memo deliveries
+        late.unsubscribe(state["sub"])
+
+    bus.sim.schedule(0.5, join)
+    bus.sim.schedule(1.5, leave)
+
+    publisher = bus.client("node00", "pub")
+    interval = 2.5 / messages
+
+    def publish(n: int) -> None:
+        publisher.publish(SUBJECT_CYCLE[n & 7], {"n": n})
+
+    for n in range(messages):
+        bus.sim.schedule(0.01 + n * interval, publish, n)
+    bus.run_for(30.0)
+
+    return {
+        "inboxes": inboxes,
+        "trace": [(r.time, r.category, r.fields) for r in tracer.records],
+        "corrupt_dropped": sum(d.corrupt_dropped
+                               for d in bus.daemons.values()),
+        "frames_corrupted": bus.lan.frames_corrupted,
+        "decode_memo": wire.decode_memo_stats(),
+    }
+
+
+def check_determinism(messages: int) -> dict:
+    plain = _determinism_once(caches=False, messages=messages)
+    cached = _determinism_once(caches=True, messages=messages)
+    problems = []
+    if plain["inboxes"] != cached["inboxes"]:
+        problems.append("delivery sequences differ")
+    if plain["trace"] != cached["trace"]:
+        problems.append("trace records differ")
+    for key in ("corrupt_dropped", "frames_corrupted"):
+        if plain[key] != cached[key]:
+            problems.append(f"{key} differs "
+                            f"({plain[key]} != {cached[key]})")
+    if plain["frames_corrupted"] == 0:
+        problems.append("corruption fault was not exercised")
+    if cached["corrupt_dropped"] == 0:
+        problems.append("no corrupted frame was CRC-rejected under memo")
+    if cached["decode_memo"]["hits"] == 0:
+        problems.append("decode memo never hit")
+    late_deliveries = len(cached["inboxes"]["node04"])
+    total = sum(len(box) for box in cached["inboxes"].values())
+    return {
+        "ok": not problems,
+        "problems": problems,
+        "messages": messages,
+        "deliveries": total,
+        "midstream_subscriber_deliveries": late_deliveries,
+        "trace_records": len(cached["trace"]),
+        "frames_corrupted": cached["frames_corrupted"],
+        "corrupt_dropped": cached["corrupt_dropped"],
+        "decode_memo_hits": cached["decode_memo"]["hits"],
+    }
+
+
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced iteration counts (CI smoke)")
+    parser.add_argument("--output", type=Path,
+                        default=ROOT / "BENCH_core.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--min-fanout-speedup", type=float, default=2.0,
+                        help="fail unless cached fan-out beats the "
+                             "cache-disabled baseline by this factor")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        fanout_msgs, repeats = 600, 2
+        trie_iters, codec_iters = 60_000, 20_000
+        det_msgs = 80
+    else:
+        fanout_msgs, repeats = 3000, 3
+        trie_iters, codec_iters = 300_000, 80_000
+        det_msgs = 150
+
+    print("determinism: fixed seed, caches on vs off ...")
+    determinism = check_determinism(det_msgs)
+    for problem in determinism["problems"]:
+        print(f"  FAIL: {problem}")
+    if not determinism["ok"]:
+        return 1
+    print(f"  ok — {determinism['deliveries']} deliveries, "
+          f"{determinism['trace_records']} trace records, "
+          f"{determinism['corrupt_dropped']} corrupt frames dropped, "
+          f"identical with caches on/off")
+
+    benches = {}
+    print(f"fanout: 1 publisher -> {CONSUMERS} consumers, "
+          f"{fanout_msgs} msgs ...")
+    benches["fanout"] = bench_fanout(fanout_msgs, repeats)
+    print(f"trie_match: {trie_iters} matches ...")
+    benches["trie_match"] = bench_trie(trie_iters, repeats)
+    print(f"codec_decode: {codec_iters} decodes ...")
+    benches["codec_decode"] = bench_codec(codec_iters, repeats)
+    wire.configure_decode_memo()   # leave the process at defaults
+
+    report = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": args.quick,
+        "benches": benches,
+        "determinism": determinism,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for name, bench in benches.items():
+        keys = [k for k in bench if k.endswith("_per_sec")]
+        rates = ", ".join(f"{k}={bench[k]:,.0f}" for k in sorted(keys))
+        print(f"  {name}: {rates}  (speedup {bench['speedup']}x)")
+    print(f"wrote {args.output}")
+
+    speedup = benches["fanout"]["speedup"]
+    if speedup < args.min_fanout_speedup:
+        print(f"FAIL: fan-out speedup {speedup}x < "
+              f"required {args.min_fanout_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

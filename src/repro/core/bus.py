@@ -26,7 +26,7 @@ from ..sim.ethernet import EthernetSegment
 from ..sim.kernel import Simulator
 from ..sim.network import CostModel
 from ..sim.node import Host
-from ..sim.trace import Tracer
+from ..sim.trace import NULL_TRACER, Tracer
 from .client import BusClient
 from .daemon import BusConfig, BusDaemon
 
@@ -43,7 +43,8 @@ class InformationBus:
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.name = name
         self.config = config or BusConfig()
-        self.tracer = tracer or Tracer(enabled=False)
+        # NULL_TRACER fallback, not `or`: a disabled Tracer is falsy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.lan = EthernetSegment(self.sim, name=name, cost=cost)
         self.daemons: Dict[str, BusDaemon] = {}
         self._client_counter = 0

@@ -62,7 +62,8 @@ class BusClient:
         # Matching a delivery costs O(subject depth), not O(#subs) —
         # essential when an app subscribes to thousands of subjects
         # (the Figure 8 workload).
-        self._dispatch: SubjectTrie = SubjectTrie()
+        self._dispatch: SubjectTrie = SubjectTrie(
+            memo_capacity=daemon.config.match_memo_capacity)
         # refcount of daemon-level registrations per (pattern, durable)
         self._registered: Dict[tuple, int] = {}
         self.messages_published = 0

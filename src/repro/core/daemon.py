@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..sim.kernel import PeriodicTimer, Simulator
 from ..sim.node import Host
-from ..sim.trace import Tracer
+from ..sim.trace import NULL_TRACER, Tracer
 from ..objects import encode
 from ..sim.transport import DatagramSocket, Endpoint
 from .batching import BatchConfig, Batcher
@@ -81,6 +81,11 @@ class BusConfig:
     #: deliveries to non-durable subscribers; oldest are evicted past
     #: this, so a long-running daemon's memory stays bounded.
     seen_ledger_cap: int = 4096
+    #: Concrete subjects the subscription trie memoizes (see
+    #: :class:`~repro.core.subjects.SubjectTrie`).  0 disables the memo —
+    #: the escape hatch the perf harness uses to prove cache honesty.
+    #: None uses the trie's default.
+    match_memo_capacity: Optional[int] = None
 
 
 class BusDaemon:
@@ -92,7 +97,9 @@ class BusDaemon:
         self.sim = sim
         self.host = host
         self.config = config or BusConfig()
-        self.tracer = tracer or Tracer(enabled=False)
+        # NULL_TRACER fallback, not `or`: a disabled Tracer is falsy, and
+        # callers may hand one in intending to flip it on mid-run
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.clients: Dict[str, "BusClient"] = {}
         # counters (survive restarts; they describe the daemon object)
         self.published = 0
@@ -119,8 +126,9 @@ class BusDaemon:
                                           self._deliver_remote,
                                           self._send_nack)
         self._batcher = Batcher(self.sim, self.config.batch, self._send_batch)
-        self._subscriptions: SubjectTrie = SubjectTrie()
-        self._durable: SubjectTrie = SubjectTrie()
+        memo = self.config.match_memo_capacity
+        self._subscriptions: SubjectTrie = SubjectTrie(memo_capacity=memo)
+        self._durable: SubjectTrie = SubjectTrie(memo_capacity=memo)
         self._heartbeat = PeriodicTimer(
             self.sim, self.config.reliable.heartbeat_interval,
             self._send_heartbeat, name="daemon.heartbeat")
@@ -247,8 +255,9 @@ class BusDaemon:
                                                    payload)
         self._sender.stamp(envelope)
         self.published += 1
-        self.tracer.emit(self.sim.now, "publish", subject=subject,
-                         seq=envelope.seq, size=len(payload))
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "publish", subject=subject,
+                             seq=envelope.seq, size=len(payload))
         self._deliver_local(envelope)
         self._batcher.add(envelope)
         return envelope
@@ -322,8 +331,9 @@ class BusDaemon:
         repairs = self._sender.repair(first, last)
         if not repairs:
             return
-        self.tracer.emit(self.sim.now, "retransmit", first=first, last=last,
-                         count=len(repairs))
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "retransmit", first=first,
+                             last=last, count=len(repairs))
         reply = Packet(PacketKind.RETRANS, self.session, repairs,
                        session_start=self.session_started)
         self._socket.sendto(encode_packet(reply), src[0], DAEMON_PORT)
@@ -333,8 +343,9 @@ class BusDaemon:
             return
         target_host = session.split("#", 1)[0]
         packet = Packet(PacketKind.NACK, session, nack_range=(first, last))
-        self.tracer.emit(self.sim.now, "nack", session=session, first=first,
-                         last=last)
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "nack", session=session,
+                             first=first, last=last)
         self._socket.sendto(encode_packet(packet), target_host, DAEMON_PORT)
 
     # ------------------------------------------------------------------

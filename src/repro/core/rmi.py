@@ -212,6 +212,11 @@ class RmiServer:
             reply = {"kind": "reply", "request_id": request_id,
                      "ok": False, "error": f"{type(error).__name__}: {error}"}
         encoded = encode(reply)
+        tracer = self.client.daemon.tracer
+        if tracer:
+            tracer.emit(self.client.sim.now, "rmi.call",
+                        service=self.service_subject, op=msg["op"],
+                        request_id=request_id, ok=reply["ok"])
         self._reply_cache[request_id] = encoded
         if self.durable_replies:
             # logged before the reply leaves: a crash after execution
@@ -389,6 +394,10 @@ class RmiClient:
         pending.done = True
         if pending.timeout_event is not None:
             pending.timeout_event.cancel()
+        tracer = self.client.daemon.tracer
+        if tracer:
+            tracer.emit(self.client.sim.now, "rmi.reply", op=pending.op,
+                        request_id=pending.request_id, ok=msg["ok"])
         if msg["ok"]:
             value = decode(msg["value"], self.client.registry)
             pending.on_result(value, None)

@@ -106,6 +106,7 @@ class RouterLeg:
         self.name = f"{bus.name}:{host_address}"
         self.transform = transform
         self.log_traffic = log_traffic
+        self.tracer = bus.tracer
         self.host = bus.add_host(host_address)
         # all legs share the router's registry: a type learned from inline
         # metadata on one bus is known when re-publishing on another
@@ -213,6 +214,10 @@ class RouterLeg:
             "subject": subject, "via": list(info.via),
             "payload": encode(obj, self.router.registry, inline_types=True),
         })
+        if self.tracer:
+            self.tracer.emit(self.bus.sim.now, "router.forward", leg=self.name,
+                             subject=subject, targets=sorted(targets),
+                             size=len(data))
         for leg_name in targets:
             self.messages_forwarded += 1
             self.router._ship(self, leg_name, data)
@@ -341,6 +346,9 @@ class RouterLeg:
             return
         out_subject = self.transform(subject) if self.transform else subject
         self.messages_republished += 1
+        if self.tracer:
+            self.tracer.emit(self.bus.sim.now, "router.republish",
+                             leg=self.name, subject=out_subject)
         self.client.publish(out_subject, obj,
                             via=tuple(via) + (self.router.name,))
 

@@ -15,6 +15,18 @@ Envelope encodings are cached on the envelope (keyed by its stamped
 published message exactly once no matter how many consumers hear it, and
 NACK repairs re-send the retained bytes instead of re-marshalling.
 
+Decoding is memoized symmetrically: a broadcast is the *same* byte
+buffer at every receiving daemon, so :func:`decode_packet` keeps a small
+LRU keyed by the exact frame bytes and CRC-checks + parses each unique
+buffer once per fan-out instead of once per receiver.  This is safe
+because decoding is a pure function of the bytes and decoded packets are
+never mutated on the receive path; it is fault-honest because a
+receiver-side bit flip (``corrupt_rate``) produces a *different* buffer
+that misses the memo and fails its own CRC check — every afflicted
+receiver still rejects its own corrupted copy.  Failures are never
+cached.  :func:`configure_decode_memo` resizes or disables the memo (the
+escape hatch the perf harness uses to prove behaviour is unchanged).
+
 Frame body layout (all integers varint unless noted)::
 
     packet   := kind:u8 flags:u8 session:str session_start:f64
@@ -30,16 +42,19 @@ varint length prefix; ``f64`` is a big-endian IEEE double.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from io import BytesIO
-from typing import Tuple
+from typing import Dict, Tuple
 
 from ..sim.framing import (CorruptFrame, frame, read_bytes, read_f64,
                            read_str, read_varint, unframe, write_bytes,
                            write_f64, write_str, write_varint)
 from .message import Envelope, Packet, PacketKind, QoS
 
-__all__ = ["CorruptFrame", "decode_packet", "encode_envelope",
-           "encode_packet", "envelope_wire_size", "packet_wire_size"]
+__all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY",
+           "configure_decode_memo", "decode_memo_stats", "decode_packet",
+           "encode_envelope", "encode_packet", "envelope_wire_size",
+           "packet_wire_size"]
 
 _KIND_TO_CODE = {
     PacketKind.DATA: 0,
@@ -176,13 +191,63 @@ def encode_packet(packet: Packet) -> bytes:
     return frame(out.getvalue())
 
 
+#: Default bound on memoized decoded frames.  Sized for the fan-out
+#: window: a frame only repeats while N daemons hear one broadcast, so a
+#: few hundred entries cover even deep outbound queues.
+DEFAULT_DECODE_MEMO_CAPACITY = 256
+
+_decode_memo: "OrderedDict[bytes, Packet]" = OrderedDict()
+_decode_memo_capacity = DEFAULT_DECODE_MEMO_CAPACITY
+_decode_memo_hits = 0
+_decode_memo_misses = 0
+
+
+def configure_decode_memo(capacity: int = DEFAULT_DECODE_MEMO_CAPACITY
+                          ) -> None:
+    """Resize the decode memo (0 disables it); clears entries and stats."""
+    global _decode_memo_capacity, _decode_memo_hits, _decode_memo_misses
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0 (got {capacity})")
+    _decode_memo_capacity = capacity
+    _decode_memo.clear()
+    _decode_memo_hits = 0
+    _decode_memo_misses = 0
+
+
+def decode_memo_stats() -> Dict[str, int]:
+    """Hit/miss/size counters for benches and cache-honesty tests."""
+    return {"capacity": _decode_memo_capacity, "size": len(_decode_memo),
+            "hits": _decode_memo_hits, "misses": _decode_memo_misses}
+
+
 def decode_packet(data: bytes) -> Packet:
     """Decode one wire frame back to a :class:`Packet`.
 
     Raises :class:`CorruptFrame` on any framing, checksum, or field
     validation failure — the caller drops the frame and lets the
-    NACK/heartbeat machinery repair the gap.
+    NACK/heartbeat machinery repair the gap.  Successful decodes are
+    memoized by the exact frame bytes (see the module docstring), so the
+    N receivers of one broadcast share a single parse.
     """
+    global _decode_memo_hits, _decode_memo_misses
+    key = None
+    if _decode_memo_capacity:
+        key = bytes(data)
+        cached = _decode_memo.get(key)
+        if cached is not None:
+            _decode_memo.move_to_end(key)
+            _decode_memo_hits += 1
+            return cached
+    packet = _decode_packet_body(data)
+    if key is not None:
+        _decode_memo_misses += 1
+        _decode_memo[key] = packet
+        while len(_decode_memo) > _decode_memo_capacity:
+            _decode_memo.popitem(last=False)
+    return packet
+
+
+def _decode_packet_body(data: bytes) -> Packet:
     body = unframe(data)
     if len(body) < 2:
         raise CorruptFrame("packet body too short")

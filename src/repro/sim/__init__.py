@@ -17,7 +17,7 @@ from .node import Host, PortInUseError
 from .ethernet import EthernetSegment
 from .stable_storage import StableStore
 from .transport import DatagramSocket, Endpoint, StreamConnection, StreamManager
-from .trace import TraceRecord, Tracer
+from .trace import NULL_TRACER, TraceRecord, Tracer
 
 __all__ = [
     "Address", "BROADCAST", "BackgroundTraffic", "CorruptFrame",
@@ -25,5 +25,5 @@ __all__ = [
     "EthernetSegment", "Event", "FRAME_OVERHEAD", "Frame", "Host",
     "PeriodicTimer", "PortInUseError", "SimError", "Simulator",
     "StableStore", "StreamConnection", "StreamManager", "TraceRecord",
-    "Tracer", "frame", "unframe",
+    "NULL_TRACER", "Tracer", "frame", "unframe",
 ]

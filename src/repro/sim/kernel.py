@@ -32,23 +32,34 @@ class Event:
     already cancelled) is a no-op, which makes protocol cleanup code simple.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired",
+                 "name", "sort_key", "_sim")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None],
-                 args: tuple, name: str = ""):
+                 args: tuple, name: str = "",
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.fired = False
         self.name = name
+        # the heap compares events on every sift; precomputing the key
+        # once beats building a tuple per comparison
+        self.sort_key = (time, seq)
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return self.sort_key < other.sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "cancelled" if self.cancelled else "pending"
@@ -67,6 +78,12 @@ class Simulator:
         seed and the same schedule of calls are bit-identical.
     """
 
+    #: Compact once at least this many heap entries are cancelled AND they
+    #: outnumber the live ones — timer-churn workloads (heartbeats, advert
+    #: timers, retransmit timers across many hosts) otherwise accumulate
+    #: dead events until they happen to be popped.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._heap: List[Event] = []
@@ -75,6 +92,9 @@ class Simulator:
         self._rngs: Dict[str, random.Random] = {}
         self._running = False
         self._stopped = False
+        #: cancelled-but-still-heaped events (kept exact by cancel/pop)
+        self._cancelled_count = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # time & randomness
@@ -105,7 +125,8 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, args, name)
+        event = Event(self._now + delay, next(self._seq), callback, args,
+                      name, sim=self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -127,7 +148,9 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_count -= 1
                 continue
+            event.fired = True
             self._now = event.time
             event.callback(*event.args)
             return True
@@ -174,6 +197,7 @@ class Simulator:
                 nxt = self._heap[0]
                 if nxt.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_count -= 1
                     continue
                 if nxt.time > deadline:
                     break
@@ -193,8 +217,33 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events in the heap.  O(1)."""
+        return len(self._heap) - self._cancelled_count
+
+    # ------------------------------------------------------------------
+    # cancelled-event bookkeeping
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events still in the heap."""
+        self._cancelled_count += 1
+        if (self._cancelled_count >= self.COMPACT_MIN_CANCELLED
+                and self._cancelled_count * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled events.
+
+        Timer-churn workloads cancel far more events than they fire
+        (every delivered message cancels a retransmit timer); without
+        compaction those corpses occupy heap slots — and comparisons —
+        until their deadline is reached.  Rebuilding keeps the relative
+        order of live events: the heap is re-heapified on the same
+        ``(time, seq)`` keys.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0
+        self.compactions += 1
 
 
 class PeriodicTimer:

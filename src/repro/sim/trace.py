@@ -1,8 +1,15 @@
 """Structured event tracing for simulations.
 
 Protocols emit trace records (a timestamped category + fields dict); tests
-and benches query them afterwards.  Tracing defaults to off so the hot path
-costs one attribute check.
+and benches query them afterwards.  Tracing defaults to off, and hot paths
+guard with the tracer's truthiness::
+
+    if self.tracer:
+        self.tracer.emit(self.sim.now, "publish", subject=subject, ...)
+
+so the disabled-tracing cost is one attribute test — the ``**fields``
+kwargs dict is never built.  :data:`NULL_TRACER` is the shared disabled
+instance components fall back to when none is supplied.
 """
 
 from __future__ import annotations
@@ -10,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["NULL_TRACER", "TraceRecord", "Tracer"]
 
 
 @dataclass
@@ -35,6 +42,10 @@ class Tracer:
         self._categories = set(categories) if categories else None
         self.records: List[TraceRecord] = []
         self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def __bool__(self) -> bool:
+        """Truthy iff emitting would record — the hot-path guard."""
+        return self.enabled
 
     def emit(self, time: float, category: str, **fields: Any) -> None:
         if not self.enabled:
@@ -64,3 +75,8 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+
+
+#: Shared always-disabled tracer.  Do not enable it: every component that
+#: was constructed without an explicit tracer holds this one instance.
+NULL_TRACER = Tracer(enabled=False)

@@ -170,3 +170,88 @@ def test_trie_scales_independent_of_subscription_count():
     assert trie.match("bench.sub04567.data") == {4567}
     assert trie.matches_anything("bench.sub00000.data")
     assert not trie.matches_anything("bench.nope.data")
+
+
+# ----------------------------------------------------------------------
+# match memoization
+# ----------------------------------------------------------------------
+
+def test_memo_repeated_match_returns_same_object():
+    trie = SubjectTrie()
+    trie.insert("a.>", "x")
+    first = trie.match("a.b")
+    assert trie.match("a.b") is first   # one shared frozen result
+
+
+def test_memo_invalidated_by_insert():
+    """A subscribe lands on the very next match — no stale memo."""
+    trie = SubjectTrie()
+    trie.insert("a.>", "x")
+    assert trie.match("a.b") == {"x"}
+    trie.insert("a.b", "y")
+    assert trie.match("a.b") == {"x", "y"}
+
+
+def test_memo_invalidated_by_remove():
+    trie = SubjectTrie()
+    trie.insert("a.>", "x")
+    trie.insert("a.*", "y")
+    assert trie.match("a.b") == {"x", "y"}
+    trie.remove("a.*", "y")
+    assert trie.match("a.b") == {"x"}
+
+
+def test_memo_noop_insert_keeps_cache_valid():
+    """Duplicate inserts and failed removes change nothing, so they must
+    not count as generations (the memo survives them)."""
+    trie = SubjectTrie()
+    trie.insert("a.b", "x")
+    trie.match("a.b")
+    generation = trie._generation
+    trie.insert("a.b", "x")              # duplicate: no-op
+    trie.remove("a.b", "never-there")    # miss: no-op
+    assert trie._generation == generation
+
+
+def test_memo_capacity_bound():
+    trie = SubjectTrie(memo_capacity=4)
+    trie.insert("s.>", "x")
+    for i in range(100):
+        trie.match(f"s.{i}")
+    assert len(trie._memo) <= 4
+
+
+def test_memo_capacity_zero_disables():
+    trie = SubjectTrie(memo_capacity=0)
+    trie.insert("a.>", "x")
+    assert trie.match("a.b") == {"x"}
+    assert trie.match("a.b") == {"x"}
+    assert trie._memo == {}
+
+
+def test_memo_and_uncached_agree():
+    """Property check: cached and cache-free tries give identical answers
+    across a mixed pattern set, including admin subjects."""
+    patterns = ["a.>", "a.*", "a.b", "a.*.c", "*.b", ">", "_sys.control",
+                "news.equity.*", "news.>"]
+    subjects = ["a.b", "a.c", "a.b.c", "x.b", "news.equity.gmc",
+                "news.bond.us", "_sys.control", "_sys.other", "zzz"]
+    cached = SubjectTrie()
+    plain = SubjectTrie(memo_capacity=0)
+    for i, pattern in enumerate(patterns):
+        cached.insert(pattern, i)
+        plain.insert(pattern, i)
+    for subject in subjects + subjects:   # repeats exercise memo hits
+        assert cached.match(subject) == plain.match(subject), subject
+        assert (cached.matches_anything(subject)
+                == plain.matches_anything(subject)), subject
+
+
+def test_matches_anything_consistent_with_match():
+    trie = SubjectTrie()
+    trie.insert("fab5.>", "tail")
+    trie.insert("*.cc", "star")
+    trie.insert("_admin.cmd", "adm")
+    for subject in ["fab5.cc", "fab5.cc.litho8", "x.cc", "x.dd",
+                    "_admin.cmd", "_admin.other", "fab5"]:
+        assert trie.matches_anything(subject) == bool(trie.match(subject))

@@ -8,8 +8,19 @@ the NACK/heartbeat machinery must recover every message with no
 duplicates and no reordering.
 """
 
+import pytest
+
 from repro.core import InformationBus, QoS
+from repro.core import wire
 from repro.sim import CostModel
+
+
+@pytest.fixture(autouse=True)
+def reset_decode_memo():
+    """Per-test decode-memo stats (the memo is module-global)."""
+    wire.configure_decode_memo()
+    yield
+    wire.configure_decode_memo()
 
 
 def make_bus(corrupt_rate, hosts=4, seed=11):
@@ -84,6 +95,68 @@ def test_guaranteed_delivery_survives_corruption():
     assert sorted(got) == list(range(20))
     assert len(got) == len(set(got))   # exactly once
     assert bus.daemons["node00"].guaranteed_pending() == []
+
+
+def test_decode_memo_never_masks_corruption():
+    """The broadcast decode memo serves repeat frames from cache, yet a
+    receiver whose copy arrived bit-flipped is still rejected: corrupt
+    copies hash to different bytes, so they can never hit the memo."""
+    bus = make_bus(corrupt_rate=0.2, hosts=5)
+    inboxes = {}
+    for i in range(1, 5):
+        box = []
+        inboxes[f"node{i:02d}"] = box
+        bus.client(f"node{i:02d}", "mon").subscribe(
+            "feed.>", lambda s, p, i, box=box: box.append(p["n"]))
+    publisher = bus.client("node00", "pub")
+    for n in range(60):
+        publisher.publish("feed.tick", {"n": n})
+    bus.run_for(60.0)
+    stats = wire.decode_memo_stats()
+    # the cache did real work (clean copies shared parses)...
+    assert stats["hits"] > 0
+    # ...while corruption was happening on the same frames...
+    assert bus.lan.frames_corrupted > 0
+    assert sum(d.corrupt_dropped for d in bus.daemons.values()) > 0
+    # ...and delivery is still exactly-once in order everywhere
+    for address, box in inboxes.items():
+        assert box == list(range(60)), f"{address} saw {len(box)} messages"
+
+
+def test_midstream_subscribe_unsubscribe_takes_effect_immediately():
+    """Subscription changes are visible on the very next delivery — the
+    daemon and client match memos must not serve stale results."""
+    bus = make_bus(corrupt_rate=0.0, hosts=3)
+    late = []
+    steady = bus.client("node01", "steady")
+    steady_box = []
+    steady.subscribe("feed.>", lambda s, p, i: steady_box.append(p["n"]))
+
+    joiner = bus.client("node02", "joiner")
+    state = {}
+
+    def join():
+        state["sub"] = joiner.subscribe(
+            "feed.>", lambda s, p, i: late.append(p["n"]))
+
+    def leave():
+        joiner.unsubscribe(state["sub"])
+
+    publisher = bus.client("node00", "pub")
+    # 30 messages over 3 simulated seconds; join at 1.0s, leave at 2.0s
+    for n in range(30):
+        bus.sim.schedule(0.05 + n * 0.1, publisher.publish,
+                         "feed.tick", {"n": n})
+    bus.sim.schedule(1.0, join)
+    bus.sim.schedule(2.0, leave)
+    bus.run_for(10.0)
+
+    assert steady_box == list(range(30))      # unaffected bystander
+    assert late, "mid-stream subscriber heard nothing"
+    # the joiner saw exactly the contiguous window [join, leave) —
+    # no messages from before it joined, none after it left
+    assert late == list(range(late[0], late[-1] + 1))
+    assert late[0] >= 10 and late[-1] < 20
 
 
 def test_zero_corrupt_rate_flips_nothing():

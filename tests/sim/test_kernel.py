@@ -170,3 +170,52 @@ def test_pending_counts_live_events():
     assert sim.pending() == 2
     e1.cancel()
     assert sim.pending() == 1
+
+
+def test_pending_exact_through_fire_and_cancel():
+    """The O(1) counter stays exact: cancelling an event that already
+    fired (protocol cleanup does this constantly) must not skew it."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    sim.run_until(2.5)            # events[0] and events[1] fired
+    events[0].cancel()            # post-fire cancel: no-op
+    events[1].cancel()
+    assert sim.pending() == 2
+    events[2].cancel()            # genuine cancel of a heaped event
+    events[2].cancel()            # idempotent: counted once
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_heap_compaction_under_timer_churn():
+    """Cancelling most of the heap triggers compaction: dead events are
+    physically removed instead of lingering until their deadline."""
+    sim = Simulator()
+    keep = [sim.schedule(1000.0, lambda: None) for _ in range(5)]
+    churn = [sim.schedule(2000.0, lambda: None) for _ in range(500)]
+    for event in churn:
+        event.cancel()
+    assert sim.compactions >= 1
+    assert len(sim._heap) < 100        # corpses actually evicted
+    assert sim.pending() == len(keep)
+
+
+def test_compaction_preserves_event_order():
+    """Same schedule with and without compaction fires identically."""
+
+    def run(churn: int) -> list:
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i + 1), fired.append, i)
+        doomed = [sim.schedule(50.0 + i, lambda: fired.append("bad"))
+                  for i in range(churn)]
+        for event in doomed:
+            event.cancel()
+        sim.run_until(20.0)
+        return fired
+
+    quiet = run(churn=2)               # far below the compaction floor
+    churned = run(churn=300)           # forces at least one compaction
+    assert quiet == churned == list(range(10))
