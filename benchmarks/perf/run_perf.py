@@ -49,26 +49,12 @@ if str(SRC) not in sys.path:                       # repo-relative fallback
 from repro.core import (BusConfig, InformationBus, SubjectTrie,  # noqa: E402
                         decode_packet, encode_packet)
 from repro.core import wire                                      # noqa: E402
-from repro.core import message                                   # noqa: E402
 from repro.core.message import Envelope, Packet, PacketKind      # noqa: E402
 from repro.objects import encode                                 # noqa: E402
 from repro.sim import CostModel, Tracer                          # noqa: E402
 
 CONSUMERS = 8
 SUBJECT_CYCLE = [f"feed.equity.s{i}" for i in range(8)]
-
-
-def _reset_envelope_ids() -> None:
-    """Rewind the process-global envelope-id counter.
-
-    ``envelope_id`` rides the wire as a varint, so two runs in one process
-    only produce byte-identical frames (and hence identical simulated
-    timings) if both start the counter from the same point.  This is
-    process state, not randomness — same initial conditions is exactly
-    what a same-seed comparison means.
-    """
-    import itertools
-    message._envelope_ids = itertools.count(1)
 
 
 def _configure_caches(enabled: bool) -> BusConfig:
@@ -83,7 +69,6 @@ def _configure_caches(enabled: bool) -> BusConfig:
 # ----------------------------------------------------------------------
 
 def _fanout_once(messages: int, caches: bool, seed: int = 2026) -> dict:
-    _reset_envelope_ids()
     config = _configure_caches(caches)
     bus = InformationBus(seed=seed, cost=CostModel.ideal(), config=config)
     bus.add_hosts(CONSUMERS + 1)
@@ -201,7 +186,6 @@ def bench_codec(iterations: int, repeats: int) -> dict:
 def _determinism_once(caches: bool, messages: int, seed: int = 77) -> dict:
     """A hostile fixed-seed scenario: corruption faults plus a mid-stream
     subscribe and unsubscribe (the memo-invalidation edges)."""
-    _reset_envelope_ids()
     config = _configure_caches(caches)
     tracer = Tracer(enabled=True)
     bus = InformationBus(seed=seed, cost=CostModel.ideal(), config=config,

@@ -12,7 +12,6 @@ from repro.adapters import register_news_types
 from repro.bench import Report
 from repro.core import InformationBus
 from repro.objects import DataObject, encoded_size, standard_registry
-from repro.sim import CostModel
 
 
 def sample_story(reg):

@@ -9,7 +9,6 @@ reliable" and guaranteed is reserved for database-bound traffic.
 
 from repro.bench import Report, payload_of_size
 from repro.core import InformationBus, QoS
-from repro.sim import CostModel
 
 SIZE = 512
 MESSAGES = 300

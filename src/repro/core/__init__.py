@@ -7,6 +7,9 @@ from .subjects import (BadSubjectError, SubjectTrie, is_admin_subject,
 from .message import Envelope, MessageInfo, Packet, PacketKind, QoS
 from .wire import (CorruptFrame, decode_packet, encode_envelope,
                    encode_packet, envelope_wire_size, packet_wire_size)
+from .flow import (Admission, BoundedBuffer, BoundedQueue, FlowConfig,
+                   FlowStats, OVERFLOW_POLICIES, POLICY_BLOCK,
+                   POLICY_DROP_NEWEST, POLICY_DROP_OLDEST, PublishReceipt)
 from .reliable import (ReliableConfig, ReliableReceiver, ReliableSender,
                        SessionStats)
 from .batching import BatchConfig, Batcher
@@ -22,9 +25,12 @@ from .namespace import FAB_SENSOR_SCHEME, NEWS_SCHEME, SubjectScheme
 from .router import Router, RouterLeg, WanLink
 
 __all__ = [
-    "ADVERT_SUBJECT", "BadSubjectError", "BatchConfig", "Batcher",
+    "ADVERT_SUBJECT", "Admission", "BadSubjectError", "BatchConfig",
+    "Batcher", "BoundedBuffer", "BoundedQueue",
     "BusClient", "BusConfig", "BusDaemon", "BusDownError", "CorruptFrame",
     "DAEMON_PORT", "DiscoveredService", "Envelope",
+    "FlowConfig", "FlowStats", "OVERFLOW_POLICIES", "POLICY_BLOCK",
+    "POLICY_DROP_NEWEST", "POLICY_DROP_OLDEST", "PublishReceipt",
     "GuaranteedConsumer", "GuaranteedPublisher", "InformationBus",
     "Inquiry", "LedgerEntry", "MessageInfo", "Packet",
     "ExactlyOnceRmiClient", "FAB_SENSOR_SCHEME", "NEWS_SCHEME",

@@ -5,11 +5,14 @@ throughput by delaying small messages, and gathering them together."
 Figures 6-8 were measured with batching ON; Figure 5 (latency) with it
 OFF, "to avoid intentionally delaying the publications".
 
-The :class:`Batcher` gathers envelopes until either the accumulated
-payload reaches ``batch_bytes`` or ``batch_delay`` elapses since the
-first queued envelope, then hands the batch to its flush callback (which
-packs them into one datagram).  A disabled batcher passes every envelope
-through immediately.
+The :class:`Batcher` is a pipeline stage over a shared
+:class:`~repro.core.flow.BoundedQueue`: envelopes admitted by the
+daemon's flow-control layer accumulate in the queue until either the
+payload reaches ``batch_bytes``, the count reaches ``max_messages``, or
+``batch_delay`` elapses since the first queued envelope — then one
+batch (at most ``max_messages`` envelopes) is handed to the flush
+callback, which packs it into one datagram.  A disabled batcher passes
+every envelope through immediately.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from ..sim.kernel import Event, Simulator
+from .flow import BoundedQueue, POLICY_BLOCK
 from .message import Envelope
 
 __all__ = ["Batcher", "BatchConfig"]
@@ -38,14 +42,24 @@ class BatchConfig:
 
 
 class Batcher:
-    """Gathers envelopes into batches for one daemon's outbound path."""
+    """The gather stage of one daemon's outbound pipeline.
+
+    ``queue`` is the stage buffer; the daemon hands in a queue wired to
+    its tracer so gather depth shares the ``flow.*`` stats surface.  When
+    none is given (unit tests, standalone use) the batcher makes its own.
+    The queue never sheds: :meth:`add` flushes at the thresholds, so
+    depth stays below ``max_messages`` by construction.
+    """
 
     def __init__(self, sim: Simulator, config: BatchConfig,
-                 flush: Callable[[List[Envelope]], None]):
+                 flush: Callable[[List[Envelope]], None],
+                 queue: Optional[BoundedQueue] = None):
         self.sim = sim
         self.config = config
         self._flush_cb = flush
-        self._queue: List[Envelope] = []
+        self.queue = queue if queue is not None else BoundedQueue(
+            "batch.gather", capacity=max(config.max_messages, 1),
+            policy=POLICY_BLOCK)
         self._queued_bytes = 0
         self._timer: Optional[Event] = None
         self.batches_flushed = 0
@@ -54,40 +68,51 @@ class Batcher:
     def add(self, envelope: Envelope) -> None:
         """Queue ``envelope``; may flush synchronously on threshold."""
         if not self.config.enabled:
-            self._flush_cb([envelope])
             self.batches_flushed += 1
             self.messages_batched += 1
+            self._flush_cb([envelope])
             return
-        self._queue.append(envelope)
+        self.queue.offer(envelope)
         self._queued_bytes += envelope.size
         if (self._queued_bytes >= self.config.batch_bytes
-                or len(self._queue) >= self.config.max_messages):
+                or len(self.queue) >= self.config.max_messages):
             self.flush()
         elif self._timer is None:
             self._timer = self.sim.schedule(self.config.batch_delay,
                                             self.flush, name="batch.delay")
 
     def flush(self) -> None:
-        """Emit everything queued.  Safe to call when empty."""
+        """Emit one batch of everything queued.  Safe to call when empty.
+
+        The queue is drained *before* the callback runs, so a re-entrant
+        publish from inside a flush callback lands in the next batch
+        rather than the one being emitted.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        if not self._queue:
+        if not self.queue:
             return
-        batch, self._queue = self._queue, []
-        self._queued_bytes = 0
+        batch = self.queue.drain(self.config.max_messages)
+        self._queued_bytes = (sum(e.size for e in self.queue.items())
+                              if self.queue else 0)
         self.batches_flushed += 1
         self.messages_batched += len(batch)
         self._flush_cb(batch)
+        if self.queue and self._timer is None:
+            # a re-entrant add (or an oversized drain remainder) left
+            # envelopes behind; they get their own delay window
+            self._timer = self.sim.schedule(self.config.batch_delay,
+                                            self.flush, name="batch.delay")
 
     def shutdown(self) -> None:
         """Drop queued envelopes and cancel the timer (host crash)."""
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        self._queue.clear()
+        self.queue.clear()
         self._queued_bytes = 0
 
     @property
     def pending(self) -> int:
-        return len(self._queue)
+        return len(self.queue)

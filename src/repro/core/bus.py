@@ -75,12 +75,24 @@ class InformationBus:
     # applications
     # ------------------------------------------------------------------
     def client(self, address: str, name: Optional[str] = None,
-               registry: Optional[TypeRegistry] = None) -> BusClient:
-        """Create an application on ``address`` registered with its daemon."""
+               registry: Optional[TypeRegistry] = None,
+               service_time: float = 0.0) -> BusClient:
+        """Create an application on ``address`` registered with its daemon.
+
+        ``service_time`` models the seconds the application takes to
+        consume one message (0 = instant); a slow consumer backlogs its
+        own bounded delivery lane without stalling co-hosted siblings.
+        """
         if name is None:
             self._client_counter += 1
             name = f"app{self._client_counter}"
-        return BusClient(self.daemons[address], name, registry)
+        return BusClient(self.daemons[address], name, registry,
+                         service_time=service_time)
+
+    def flow_stats(self) -> Dict[str, Dict[str, dict]]:
+        """Per-daemon snapshots of every flow-control queue on the bus."""
+        return {address: daemon.flow_stats()
+                for address, daemon in self.daemons.items()}
 
     # ------------------------------------------------------------------
     # failures

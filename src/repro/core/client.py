@@ -19,6 +19,7 @@ import itertools
 
 from ..objects import TypeRegistry, decode, encode, standard_registry
 from .daemon import BusDaemon
+from .flow import PublishReceipt
 from .message import Envelope, MessageInfo, QoS
 from .subjects import SubjectTrie, validate_pattern
 
@@ -52,11 +53,16 @@ class BusClient:
     """One application's handle on the Information Bus."""
 
     def __init__(self, daemon: BusDaemon, name: str,
-                 registry: Optional[TypeRegistry] = None):
+                 registry: Optional[TypeRegistry] = None,
+                 service_time: float = 0.0):
         self.daemon = daemon
         self.name = name
         self.registry = registry if registry is not None else standard_registry()
         self.id = f"{daemon.host.address}.{name}"
+        #: simulated seconds this application takes to consume one
+        #: message (read by the daemon when it builds the delivery lane;
+        #: 0 = instant, the synchronous fast path)
+        self.service_time = max(0.0, service_time)
         self._subscriptions: List[Subscription] = []
         # client-side dispatch trie: pattern -> Subscription objects.
         # Matching a delivery costs O(subject depth), not O(#subs) —
@@ -85,26 +91,34 @@ class BusClient:
     # ------------------------------------------------------------------
     def publish(self, subject: str, obj: Any, qos: QoS = QoS.RELIABLE,
                 inline_types: Optional[bool] = None,
-                via: tuple = ()) -> int:
+                via: tuple = ()) -> PublishReceipt:
         """Marshal ``obj`` and publish it under ``subject``.
 
-        Returns the payload size in bytes.  ``inline_types`` defaults to
-        the bus config (normally True, so receivers can learn new types).
-        ``via`` is for information routers re-publishing forwarded
-        traffic; ordinary applications leave it empty.
+        Returns a :class:`~repro.core.flow.PublishReceipt` — truthy when
+        the message was admitted, with ``receipt.size`` the payload
+        bytes.  A falsy receipt means the outbound pipeline deferred or
+        dropped the publish (see :meth:`on_flow_credit` to learn when to
+        retry).  ``inline_types`` defaults to the bus config (normally
+        True, so receivers can learn new types).  ``via`` is for
+        information routers re-publishing forwarded traffic; ordinary
+        applications leave it empty.
         """
         if inline_types is None:
             inline_types = self.daemon.config.inline_types
         payload = encode(obj, self.registry, inline_types=inline_types)
-        self.daemon.publish(self.id, subject, payload, qos, via=via)
-        self.messages_published += 1
-        return len(payload)
+        receipt = self.daemon.publish(self.id, subject, payload, qos,
+                                      via=via)
+        if receipt.accepted:
+            self.messages_published += 1
+        return receipt
 
     def publish_bytes(self, subject: str, payload: bytes,
-                      qos: QoS = QoS.RELIABLE) -> None:
+                      qos: QoS = QoS.RELIABLE) -> PublishReceipt:
         """Publish a pre-marshalled payload (benchmark hot path)."""
-        self.daemon.publish(self.id, subject, payload, qos)
-        self.messages_published += 1
+        receipt = self.daemon.publish(self.id, subject, payload, qos)
+        if receipt.accepted:
+            self.messages_published += 1
+        return receipt
 
     # ------------------------------------------------------------------
     # subscribing
@@ -144,6 +158,23 @@ class BusClient:
 
     def subscriptions(self) -> List[Subscription]:
         return list(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # flow control
+    # ------------------------------------------------------------------
+    def set_service_time(self, service_time: float) -> None:
+        """Model this application's consume rate (seconds per message)."""
+        self.service_time = max(0.0, service_time)
+        self.daemon.set_client_service_time(self.name, self.service_time)
+
+    def on_flow_credit(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when the daemon's outbound queue drains after
+        pushing back — the signal to retry a deferred publish."""
+        self.daemon.on_publish_credit(callback)
+
+    def delivery_stats(self) -> Dict[str, Any]:
+        """This application's delivery-lane flow stats snapshot."""
+        return self.daemon.flow_stats()[f"deliver[{self.name}]"]
 
     def close(self) -> None:
         """Unsubscribe everything and detach from the daemon."""

@@ -9,13 +9,19 @@ which message."
 
 One :class:`BusDaemon` per :class:`~repro.sim.node.Host`:
 
-* outbound — stamps envelopes with the reliable protocol, optionally
-  batches them, and broadcasts them as UDP datagrams on the daemon port;
+* outbound — a flow-controlled pipeline: publishes pass *admission* at a
+  bounded outbound queue (:mod:`repro.core.flow`), are stamped by the
+  reliable protocol, pumped — optionally paced to the wire — through the
+  batching stage, and broadcast as UDP datagrams on the daemon port;
 * inbound — every daemon hears every broadcast (it is an Ethernet), runs
   the reliable receive protocol, matches the subject against its local
-  subscription trie, and forwards to subscribed local applications;
+  subscription trie, and forwards to subscribed local applications
+  through bounded per-application delivery lanes (a slow app backlogs
+  and sheds per policy without stalling its co-hosted siblings);
 * guaranteed delivery — stable ledger + acks (see
-  :mod:`repro.core.guaranteed`);
+  :mod:`repro.core.guaranteed`); guaranteed traffic is never shed by the
+  flow-control layer — full queues defer it back to the ledger's
+  retransmission timer;
 * fail-stop lifecycle — a crash destroys all volatile daemon state; on
   recovery the daemon restarts with a fresh session and (by default)
   re-attaches its applications' subscriptions, modeling apps restarted
@@ -26,14 +32,15 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Set, TYPE_CHECKING
 
-from ..sim.kernel import PeriodicTimer, Simulator
+from ..sim.kernel import Event, PeriodicTimer, Simulator
 from ..sim.node import Host
 from ..sim.trace import NULL_TRACER, Tracer
 from ..objects import encode
 from ..sim.transport import DatagramSocket, Endpoint
 from .batching import BatchConfig, Batcher
+from .flow import (Admission, BoundedQueue, FlowConfig, PublishReceipt)
 from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
 from .message import Envelope, Packet, PacketKind, QoS
 from .reliable import ReliableConfig, ReliableReceiver, ReliableSender
@@ -64,6 +71,10 @@ class BusConfig:
 
     reliable: ReliableConfig = field(default_factory=ReliableConfig)
     batch: BatchConfig = field(default_factory=BatchConfig)
+    #: Flow control: queue bounds, overflow policies, wire pacing.  The
+    #: defaults are non-shedding pass-through (see
+    #: :class:`~repro.core.flow.FlowConfig`).
+    flow: FlowConfig = field(default_factory=FlowConfig)
     #: Guaranteed-delivery republish period.
     retransmit_interval: float = 0.5
     #: Distinct consumers that must ack a guaranteed message.
@@ -88,6 +99,19 @@ class BusConfig:
     match_memo_capacity: Optional[int] = None
 
 
+class _DeliveryLane:
+    """One application's bounded delivery queue on its daemon."""
+
+    __slots__ = ("queue", "service_time", "drain_event")
+
+    def __init__(self, queue: BoundedQueue, service_time: float = 0.0):
+        self.queue = queue
+        #: simulated seconds the application takes to consume one
+        #: message; 0 keeps the historical synchronous fast path
+        self.service_time = service_time
+        self.drain_event: Optional[Event] = None
+
+
 class BusDaemon:
     """The bus agent on one host."""
 
@@ -101,10 +125,19 @@ class BusDaemon:
         # callers may hand one in intending to flip it on mid-run
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.clients: Dict[str, "BusClient"] = {}
+        #: per-application delivery lanes (outlive crashes like clients
+        #: do; their queues are volatile and cleared on crash)
+        self._lanes: Dict[str, _DeliveryLane] = {}
+        #: upstream credit listeners (publishers waiting to resume);
+        #: persistent across restarts, re-wired to each new queue
+        self._publish_credit_cbs: List[Any] = []
         # counters (survive restarts; they describe the daemon object)
         self.published = 0
         self.delivered = 0
         self.acks_sent = 0
+        #: guaranteed deliveries pushed back to the ledger because a
+        #: delivery lane was full (never shed — redelivered later)
+        self.guaranteed_deferred = 0
         #: datagrams dropped because their frame failed wire validation
         self.corrupt_dropped = 0
         self._started = False
@@ -124,8 +157,27 @@ class BusDaemon:
                                       now=lambda: self.sim.now)
         self._receiver = ReliableReceiver(self.sim, self.config.reliable,
                                           self._deliver_remote,
-                                          self._send_nack)
-        self._batcher = Batcher(self.sim, self.config.batch, self._send_batch)
+                                          self._send_nack,
+                                          tracer=self.tracer)
+        flow = self.config.flow
+        # admission queue: publishes enter the outbound pipeline here.
+        # Guaranteed envelopes are never evicted (the evict filter) —
+        # they leave only via the wire or a crash.
+        self._outbound = BoundedQueue(
+            f"outbound[{self.host.address}]", flow.publish_queue,
+            flow.publish_policy,
+            evict_filter=lambda env: env.qos is not QoS.GUARANTEED,
+            on_evict=self._outbound_evicted,
+            tracer=self.tracer, now=lambda: self.sim.now)
+        self._outbound.on_credit(self._fire_publish_credits)
+        self._pump_event: Optional[Event] = None
+        self._pumping = False
+        self._batcher = Batcher(
+            self.sim, self.config.batch, self._send_batch,
+            queue=BoundedQueue(
+                f"batch[{self.host.address}]",
+                capacity=max(self.config.batch.max_messages, 1),
+                tracer=self.tracer, now=lambda: self.sim.now))
         memo = self.config.match_memo_capacity
         self._subscriptions: SubjectTrie = SubjectTrie(memo_capacity=memo)
         self._durable: SubjectTrie = SubjectTrie(memo_capacity=memo)
@@ -154,6 +206,15 @@ class BusDaemon:
         if self._advert_timer is not None:
             self._advert_timer.stop()
         self._heartbeat.stop()
+        if self._pump_event is not None:
+            self._pump_event.cancel()
+            self._pump_event = None
+        self._outbound.clear()
+        for lane in self._lanes.values():
+            if lane.drain_event is not None:
+                lane.drain_event.cancel()
+                lane.drain_event = None
+            lane.queue.clear()
         self._batcher.shutdown()
         self._receiver.shutdown()
         self._gpub.shutdown()
@@ -182,9 +243,41 @@ class BusDaemon:
                 f"host {self.host.address}: an application named "
                 f"{client.name!r} is already registered")
         self.clients[client.name] = client
+        flow = self.config.flow
+        self._lanes[client.name] = _DeliveryLane(
+            BoundedQueue(
+                f"deliver[{client.id}]", flow.delivery_queue,
+                flow.delivery_policy,
+                # guaranteed deliveries are deferred, never evicted
+                evict_filter=lambda item: item[0].ledger_id is None,
+                tracer=self.tracer, now=lambda: self.sim.now),
+            service_time=getattr(client, "service_time", 0.0))
 
     def detach_client(self, client: "BusClient") -> None:
         self.clients.pop(client.name, None)
+        lane = self._lanes.pop(client.name, None)
+        if lane is not None and lane.drain_event is not None:
+            lane.drain_event.cancel()
+
+    def set_client_service_time(self, name: str, service_time: float) -> None:
+        """Model the application's consume rate (seconds per message).
+
+        0 restores the synchronous fast path; > 0 makes deliveries queue
+        in the client's bounded lane and drain one per ``service_time``.
+        """
+        lane = self._lanes[name]
+        lane.service_time = max(0.0, service_time)
+        if lane.queue and lane.drain_event is None:
+            self._arm_lane(name, lane)
+
+    def on_publish_credit(self, callback) -> None:
+        """Run ``callback`` when the outbound queue drains after having
+        pushed back — the upstream half of publish backpressure."""
+        self._publish_credit_cbs.append(callback)
+
+    def _fire_publish_credits(self) -> None:
+        for callback in list(self._publish_credit_cbs):
+            callback()
 
     def add_subscription(self, pattern: str, client: "BusClient",
                          durable: bool) -> None:
@@ -238,11 +331,16 @@ class BusDaemon:
     # ------------------------------------------------------------------
     def publish(self, client_id: str, subject: str, payload: bytes,
                 qos: QoS = QoS.RELIABLE,
-                via: tuple = ()) -> Envelope:
+                via: tuple = ()) -> PublishReceipt:
         """Publish pre-marshalled ``payload`` under ``subject``.
 
-        ``via`` carries router path stamps on re-publications (see
-        :mod:`repro.core.router`); ordinary publishers leave it empty.
+        The receipt says whether the outbound pipeline admitted the
+        message.  A deferred/dropped publish was never stamped with a
+        sequence number and never delivered locally; deferred guaranteed
+        messages are already in the stable ledger and retransmit
+        automatically.  ``via`` carries router path stamps on
+        re-publications (see :mod:`repro.core.router`); ordinary
+        publishers leave it empty.
         """
         self._require_up()
         validate_subject(subject)
@@ -251,19 +349,26 @@ class BusDaemon:
                             qos=qos, publish_time=self.sim.now,
                             via=tuple(via))
         if qos is QoS.GUARANTEED:
+            # logged before the first transmission attempt, per the
+            # paper — which is also why a full queue can safely defer
             envelope.ledger_id = self._gpub.record(subject, client_id,
                                                    payload)
+        admission = self._outbound.offer(
+            envelope, no_shed=(qos is QoS.GUARANTEED))
+        if admission is not Admission.ACCEPTED:
+            return PublishReceipt(admission, len(payload))
         self._sender.stamp(envelope)
         self.published += 1
         if self.tracer:
             self.tracer.emit(self.sim.now, "publish", subject=subject,
                              seq=envelope.seq, size=len(payload))
         self._deliver_local(envelope)
-        self._batcher.add(envelope)
-        return envelope
+        self._pump_outbound()
+        return PublishReceipt(Admission.ACCEPTED, len(payload), envelope)
 
     def flush(self) -> None:
-        """Force out any batched messages."""
+        """Force out any batched messages (respects wire pacing)."""
+        self._pump_outbound()
         self._batcher.flush()
 
     def _republish_guaranteed(self, entry: LedgerEntry) -> None:
@@ -274,9 +379,54 @@ class BusDaemon:
                             payload=entry.payload, qos=QoS.GUARANTEED,
                             ledger_id=entry.ledger_id,
                             publish_time=self.sim.now)
+        if self._outbound.offer(envelope, no_shed=True) \
+                is not Admission.ACCEPTED:
+            return   # still congested; the ledger timer tries again
         self._sender.stamp(envelope)
         self._deliver_local(envelope)
-        self._batcher.add(envelope)
+        self._pump_outbound()
+
+    # ------------------------------------------------------------------
+    # outbound pump (admission queue -> batcher -> wire)
+    # ------------------------------------------------------------------
+    def _outbound_evicted(self, envelope: Envelope) -> None:
+        """A stamped envelope was shed from the outbound queue
+        (drop-oldest): purge it from retention so NACKs cannot
+        resurrect what flow control decided to drop."""
+        self._sender.forget(envelope.seq)
+
+    def _pump_outbound(self) -> None:
+        """Move admitted envelopes into the batching stage.
+
+        Without pacing (``flow.max_send_backlog is None``) this drains
+        synchronously — publish behaves exactly as it did before the
+        flow-control layer.  With pacing, the pump stops once the host's
+        send pipeline is ``max_send_backlog`` seconds ahead of simulated
+        time and reschedules itself for when the backlog clears, which
+        is what lets the queue fill and admission push back upstream.
+        """
+        if self._pumping:
+            return   # re-entrant publish from a delivery callback
+        backlog_cap = self.config.flow.max_send_backlog
+        self._pumping = True
+        try:
+            while self._outbound:
+                if backlog_cap is not None:
+                    backlog = self.host.send_backlog
+                    if backlog >= backlog_cap:
+                        if self._pump_event is None:
+                            self._pump_event = self.sim.schedule(
+                                backlog - backlog_cap + 1e-9,
+                                self._pump_fire, name="flow.pump")
+                        return
+                self._batcher.add(self._outbound.take())
+        finally:
+            self._pumping = False
+
+    def _pump_fire(self) -> None:
+        self._pump_event = None
+        if self.up:
+            self._pump_outbound()
 
     def _send_batch(self, envelopes: List[Envelope]) -> None:
         if not self.up:
@@ -366,30 +516,92 @@ class BusDaemon:
             self._dispatch_guaranteed(envelope, clients, retransmitted)
             return
         for client in clients:
+            self._lane_offer(client, envelope, retransmitted)
+
+    def _lane_offer(self, client: "BusClient", envelope: Envelope,
+                    retransmitted: bool) -> Admission:
+        """Hand one envelope to one application through its lane."""
+        lane = self._lanes.get(client.name)
+        if lane is None or (lane.service_time <= 0.0 and not lane.queue):
+            # instant consumer: the historical synchronous fast path
+            if lane is not None:
+                lane.queue.pass_through()
             self.delivered += 1
             client._deliver(envelope, retransmitted)
+            return Admission.ACCEPTED
+        admission = lane.queue.offer(
+            (envelope, retransmitted),
+            no_shed=(envelope.ledger_id is not None))
+        if admission is Admission.ACCEPTED and lane.drain_event is None:
+            self._arm_lane(client.name, lane)
+        return admission
+
+    def _arm_lane(self, name: str, lane: _DeliveryLane) -> None:
+        lane.drain_event = self.sim.schedule(
+            lane.service_time, self._lane_drain, name, name="flow.deliver")
+
+    def _lane_drain(self, name: str) -> None:
+        lane = self._lanes.get(name)
+        if lane is None:
+            return
+        lane.drain_event = None
+        if not self.up or not lane.queue:
+            return
+        envelope, retransmitted = lane.queue.take()
+        client = self.clients.get(name)
+        if client is not None:
+            self.delivered += 1
+            client._deliver(envelope, retransmitted)
+        if lane.queue and lane.drain_event is None:
+            self._arm_lane(name, lane)
+
+    def _lanes_have_room(self, clients: Set) -> bool:
+        for client in clients:
+            lane = self._lanes.get(client.name)
+            if lane is None:
+                continue
+            if (lane.service_time > 0.0 or lane.queue) and lane.queue.full:
+                return False
+        return True
+
+    def _defer_guaranteed(self, envelope: Envelope) -> None:
+        self.guaranteed_deferred += 1
+        if self.tracer:
+            self.tracer.emit(self.sim.now, "flow.defer", queue="deliver",
+                             ledger_id=envelope.ledger_id,
+                             subject=envelope.subject)
 
     def _dispatch_guaranteed(self, envelope: Envelope, clients: Set,
                              retransmitted: bool) -> None:
-        """Guaranteed messages: dedupe by ledger id, ack on durable receipt."""
+        """Guaranteed messages: dedupe by ledger id, ack on durable receipt.
+
+        The lane-room check runs *before* the delivery dedupe is consumed
+        and before any ack: a guaranteed message facing a full lane is
+        deferred whole — the publisher's ledger keeps retransmitting until
+        every target application has room, so guaranteed QoS is never shed.
+        """
         durable_clients = self._durable.match(envelope.subject)
         if durable_clients:
+            if not self._lanes_have_room(clients):
+                self._defer_guaranteed(envelope)   # withholds the ack too
+                return
             if self._gcon.first_delivery(envelope.ledger_id):
                 for client in clients:
-                    self.delivered += 1
-                    client._deliver(envelope, retransmitted)
+                    self._lane_offer(client, envelope, retransmitted)
             self._send_ack(envelope)   # (re-)ack even on duplicates
             return
         # no durable subscriber here: deliver once to regular subscribers
         if envelope.ledger_id in self._seen_ledgers:
+            return
+        if not self._lanes_have_room(clients):
+            self._defer_guaranteed(envelope)
             return
         if clients:
             self._seen_ledgers[envelope.ledger_id] = None
             while len(self._seen_ledgers) > self.config.seen_ledger_cap:
                 self._seen_ledgers.popitem(last=False)
         for client in clients:
-            self.delivered += 1
-            client._deliver(envelope, retransmitted)
+            self._lane_offer(client, envelope, retransmitted)
 
     def _send_ack(self, envelope: Envelope) -> None:
         origin_host = envelope.ledger_id.split("/", 1)[0]
@@ -408,6 +620,14 @@ class BusDaemon:
     # ------------------------------------------------------------------
     def reliable_stats(self, session: str):
         return self._receiver.stats(session)
+
+    def flow_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot every flow-control queue this daemon owns."""
+        stats = {"outbound": self._outbound.stats.snapshot(),
+                 "batch": self._batcher.queue.stats.snapshot()}
+        for name, lane in self._lanes.items():
+            stats[f"deliver[{name}]"] = lane.queue.stats.snapshot()
+        return stats
 
     def guaranteed_pending(self) -> List[LedgerEntry]:
         return self._gpub.pending()

@@ -19,7 +19,6 @@ already-marshalled bytes (see :mod:`repro.objects.marshal`), and the
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -43,9 +42,6 @@ class PacketKind(enum.Enum):
     ACK = "ack"               # guaranteed-delivery confirmation (unicast)
 
 
-_envelope_ids = itertools.count(1)
-
-
 @dataclass
 class Envelope:
     """One published message as it travels between daemons."""
@@ -63,7 +59,13 @@ class Envelope:
     #: which keeps arbitrary router topologies (chains, meshes, cycles)
     #: loop-free while allowing multi-hop forwarding.
     via: Tuple[str, ...] = ()
-    envelope_id: int = field(default_factory=lambda: next(_envelope_ids))
+    #: wire-visible identity, stamped by the publishing daemon from its
+    #: own counter (0 = not yet stamped).  The id rides the wire as a
+    #: varint, so a process-global counter would make a message's size —
+    #: and therefore its send-CPU timing — depend on how many envelopes
+    #: *earlier, unrelated* runs created.  Per-daemon counters keep
+    #: same-seed runs bit-identical.
+    envelope_id: int = 0
 
     @property
     def size(self) -> int:

@@ -23,11 +23,13 @@ degrading to at-most-once exactly as specified.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..sim.kernel import Event, Simulator
+from ..sim.trace import Tracer
+from .flow import BoundedBuffer, POLICY_DROP_NEWEST, POLICY_DROP_OLDEST
 from .message import Envelope
 
 __all__ = ["ReliableConfig", "ReliableSender", "ReliableReceiver",
@@ -59,14 +61,26 @@ class ReliableConfig:
     heartbeat_interval: float = 0.25
     #: Out-of-order envelopes a receiver buffers per session.
     receive_buffer: int = 1024
+    #: What a full reorder buffer sheds: ``drop-newest`` sheds whichever
+    #: envelope carries the highest sequence number (incoming or
+    #: buffered — gap-fillers are always admitted), ``drop-oldest``
+    #: evicts the lowest-sequence buffered envelope (preferring fresh
+    #: data; the evictee stays NACK-repairable from sender retention).
+    #: A receiver cannot block a datagram network, so ``block`` is
+    #: treated as ``drop-newest``.  Every shed is counted in
+    #: :attr:`SessionStats.overflow_dropped` and traced as ``flow.drop``.
+    overflow_policy: str = POLICY_DROP_NEWEST
 
 
 class ReliableSender:
     """Per-daemon send side: sequence stamping, retention, NACK service.
 
-    ``now`` is a clock callable used for the optional time-based
-    retention bound; pass ``sim.now`` via a lambda (or leave the default
-    for count-only retention).
+    The retention window is a :class:`~repro.core.flow.BoundedBuffer`
+    stage: stamping inserts, the count bound rolls the oldest entry out
+    (observable in ``retention_stats``), and the optional age bound
+    expires from the front.  ``now`` is a clock callable used for the
+    time-based bound; pass ``sim.now`` via a lambda (or leave the
+    default for count-only retention).
     """
 
     def __init__(self, session: str, config: ReliableConfig,
@@ -75,24 +89,41 @@ class ReliableSender:
         self.config = config
         self.now = now
         self.next_seq = 1
-        # seq -> (envelope, stamp time)
-        self._retention: "OrderedDict[int, tuple]" = OrderedDict()
+        # per-sender envelope identities: a module-global counter would
+        # leak across runs and (as a wire varint) perturb packet sizes
+        self._envelope_ids = itertools.count(1)
+        # seq -> (envelope, stamp time); drop-oldest IS the rolling
+        # repair window, so the buffer's eviction counters double as
+        # "how much repairability the retention bound cost us"
+        self._retention = BoundedBuffer(
+            f"reliable.retention[{session}]",
+            capacity=max(config.retention, 1), policy=POLICY_DROP_OLDEST)
         self.retransmissions = 0
 
     @property
     def last_seq(self) -> int:
         return self.next_seq - 1
 
+    @property
+    def retention_stats(self):
+        """The retention window's :class:`~repro.core.flow.FlowStats`."""
+        return self._retention.stats
+
     def stamp(self, envelope: Envelope) -> Envelope:
         """Assign the next sequence number and retain for repair."""
         envelope.session = self.session
         envelope.seq = self.next_seq
+        if envelope.envelope_id == 0:
+            envelope.envelope_id = next(self._envelope_ids)
         self.next_seq += 1
-        self._retention[envelope.seq] = (envelope, self.now())
-        while len(self._retention) > self.config.retention:
-            self._retention.popitem(last=False)
+        self._retention.insert(envelope.seq, (envelope, self.now()))
         self._expire()
         return envelope
+
+    def forget(self, seq: int) -> None:
+        """Drop ``seq`` from retention (its envelope was shed upstream
+        before ever reaching the wire; NACKs must not resurrect it)."""
+        self._retention.pop(seq)
 
     def _expire(self) -> None:
         limit = self.config.retention_seconds
@@ -100,10 +131,10 @@ class ReliableSender:
             return
         horizon = self.now() - limit
         while self._retention:
-            seq, (_, stamped) = next(iter(self._retention.items()))
+            _seq, (_, stamped) = self._retention.oldest()
             if stamped >= horizon:
                 break
-            self._retention.popitem(last=False)
+            self._retention.pop_oldest()
 
     def retained(self) -> int:
         """How many envelopes are currently repairable."""
@@ -132,6 +163,10 @@ class SessionStats:
     nacks_sent: int = 0
     gaps_skipped: int = 0
     messages_lost: int = 0
+    #: Envelopes shed because the reorder buffer was full (the
+    #: policy-driven bound; a shed buffered envelope may still be
+    #: NACK-repaired later, so this is pressure, not necessarily loss).
+    overflow_dropped: int = 0
 
 
 class _SessionState:
@@ -171,11 +206,13 @@ class ReliableReceiver:
 
     def __init__(self, sim: Simulator, config: ReliableConfig,
                  deliver: Callable[[Envelope, bool], None],
-                 send_nack: Callable[[str, int, int], None]):
+                 send_nack: Callable[[str, int, int], None],
+                 tracer: Optional[Tracer] = None):
         self.sim = sim
         self.config = config
         self._deliver = deliver
         self._send_nack = send_nack
+        self._tracer = tracer
         self._sessions: Dict[str, _SessionState] = {}
         #: when this receiver came up; sessions born after this are fully
         #: recoverable from seq 1 (we must have been within earshot)
@@ -235,12 +272,40 @@ class ReliableReceiver:
             state.stats.duplicates += 1
             return
         if len(state.buffer) >= self.config.receive_buffer:
-            # overwhelmed: drop the newest rather than grow unboundedly
-            state.stats.messages_lost += 1
-            return
+            if not self._shed(state, envelope):
+                return   # the incoming envelope itself was shed
         state.buffer[seq] = (envelope, retransmitted)
         state.stats.buffered += 1
         self._arm_nack(envelope.session, state)
+
+    def _shed(self, state: _SessionState, incoming: Envelope) -> bool:
+        """Apply the overflow policy to a full reorder buffer.
+
+        Returns True when room was made for ``incoming`` (a buffered
+        envelope was evicted), False when ``incoming`` was the victim.
+        Either way the shed is counted and traced — never silent.
+        """
+        if self.config.overflow_policy == POLICY_DROP_OLDEST:
+            victim = min(state.buffer)
+        else:
+            # drop-newest (and ``block``, which a datagram receiver
+            # cannot honour): shed the highest sequence number in play,
+            # so a gap-filling arrival always displaces younger data
+            victim = max(state.buffer)
+            if incoming.seq > victim:
+                victim = incoming.seq
+        state.stats.overflow_dropped += 1
+        if self._tracer:
+            self._tracer.emit(self.sim.now, "flow.drop",
+                              queue="reliable.reorder",
+                              session=state.session, seq=victim,
+                              end=("oldest" if self.config.overflow_policy
+                                   == POLICY_DROP_OLDEST else "newest"),
+                              depth=len(state.buffer))
+        if victim == incoming.seq:
+            return False
+        del state.buffer[victim]
+        return True
 
     def handle_heartbeat(self, session: str, last_seq: int,
                          session_start: Optional[float] = None) -> None:

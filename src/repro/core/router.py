@@ -27,9 +27,11 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..objects import decode, encode, standard_registry
 from ..sim.kernel import PeriodicTimer, Simulator
+from ..sim.trace import Tracer
 from .bus import InformationBus
 from .client import BusClient, Subscription
 from .daemon import ADVERT_SUBJECT
+from .flow import Admission, BoundedQueue, POLICY_BLOCK
 from .message import MessageInfo, QoS
 from .subjects import subject_matches
 
@@ -50,16 +52,33 @@ class WanLink:
     """A point-to-point wide-area link between two router legs.
 
     Models latency plus serialization through a bounded-bandwidth pipe,
-    with independent capacity per direction.
+    with independent capacity per direction.  Each direction is a bounded
+    store-and-forward queue from the shared flow-control layer
+    (:mod:`repro.core.flow`): a saturated pipe fills its queue and
+    :meth:`send` starts returning a non-accepted admission — backpressure
+    on the router leg — instead of queueing unboundedly or dropping
+    invisibly.
     """
 
     latency: float = 0.03                      # 30 ms coast-to-coast
     bandwidth_bytes_per_sec: float = 1_500_000 / 8   # a T1-and-a-bit
+    #: per-direction store-and-forward queue bound (messages)
+    queue_capacity: int = 512
+    #: what happens to reliable traffic at a full queue; guaranteed and
+    #: control-plane traffic is always ``no_shed`` (deferred, retried)
+    overflow_policy: str = POLICY_BLOCK
 
     def __post_init__(self) -> None:
         self._busy_until: Dict[Tuple[str, str], float] = {}
+        self._queues: Dict[Tuple[str, str], BoundedQueue] = {}
+        self._transferring: set = set()
+        self._sim: Optional[Simulator] = None
         self._down = False
+        #: messages lost to a down link (plus any caught mid-transfer)
         self.messages_dropped = 0
+        #: set by the router when it learns a bus's tracer, so queue
+        #: sheds surface as ``flow.drop`` events
+        self.tracer: Optional[Tracer] = None
 
     @property
     def down(self) -> bool:
@@ -67,8 +86,17 @@ class WanLink:
 
     def fail(self) -> None:
         """Take the link down: traffic handed to it is lost (it is a
-        datagram pipe — durability is the store-and-forward layer's job)."""
+        datagram pipe — durability is the store-and-forward layer's job).
+        Queued transfers are lost with it, counted as drops."""
         self._down = True
+        for key, queue in self._queues.items():
+            lost = queue.clear()
+            if lost:
+                self.messages_dropped += lost
+                if self.tracer and self._sim is not None:
+                    self.tracer.emit(self._sim.now, "flow.drop",
+                                     queue=f"wan[{key[0]}->{key[1]}]",
+                                     reason="link-down", count=lost)
 
     def restore(self) -> None:
         self._down = False
@@ -76,22 +104,78 @@ class WanLink:
     def transfer_time(self, size: int) -> float:
         return (size + _WAN_OVERHEAD) / self.bandwidth_bytes_per_sec
 
-    def send(self, sim: Simulator, from_leg: str, to_leg: str, size: int,
-             deliver: Callable[[], None]) -> None:
-        """Schedule ``deliver`` after queueing + serialization + latency.
+    def _queue(self, sim: Simulator, key: Tuple[str, str]) -> BoundedQueue:
+        self._sim = sim
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = BoundedQueue(
+                f"wan[{key[0]}->{key[1]}]", self.queue_capacity,
+                self.overflow_policy, tracer=self.tracer,
+                now=lambda: sim.now)
+            self._queues[key] = queue
+        return queue
 
-        A down link silently drops (callers needing reliability retry —
-        see the store-and-forward machinery in :class:`RouterLeg`).
+    def send(self, sim: Simulator, from_leg: str, to_leg: str, size: int,
+             deliver: Callable[[], None], *,
+             no_shed: bool = False) -> Admission:
+        """Queue one transfer; ``deliver`` fires after store-and-forward
+        queueing + serialization + latency.
+
+        A down link drops (counted and traced; callers needing
+        reliability retry — see the store-and-forward machinery in
+        :class:`RouterLeg`).  A full direction sheds per
+        :attr:`overflow_policy` — except ``no_shed`` traffic, which is
+        deferred back to the caller to retry.
         """
         if self._down:
             self.messages_dropped += 1
-            return
+            if self.tracer:
+                self.tracer.emit(sim.now, "flow.drop",
+                                 queue=f"wan[{from_leg}->{to_leg}]",
+                                 reason="link-down", size=size)
+            return Admission.DROPPED
         key = (from_leg, to_leg)
+        admission = self._queue(sim, key).offer((size, deliver),
+                                                no_shed=no_shed)
+        if admission is Admission.ACCEPTED:
+            self._pump(sim, key)
+        return admission
+
+    def _pump(self, sim: Simulator, key: Tuple[str, str]) -> None:
+        """Serialize queued transfers one at a time per direction."""
+        if key in self._transferring:
+            return
+        queue = self._queues[key]
+        if not queue:
+            return
+        size, deliver = queue.take()
+        self._transferring.add(key)
         start = max(sim.now, self._busy_until.get(key, 0.0))
         done = start + self.transfer_time(size)
         self._busy_until[key] = done
-        sim.schedule(done + self.latency - sim.now, deliver,
-                     name="wan.deliver")
+        sim.schedule(done - sim.now, self._transfer_done, sim, key, deliver,
+                     name="wan.transfer")
+
+    def _transfer_done(self, sim: Simulator, key: Tuple[str, str],
+                       deliver: Callable[[], None]) -> None:
+        self._transferring.discard(key)
+        if self._down:
+            # the link died mid-transfer: this message is on the floor
+            self.messages_dropped += 1
+            if self.tracer:
+                self.tracer.emit(sim.now, "flow.drop",
+                                 queue=f"wan[{key[0]}->{key[1]}]",
+                                 reason="link-down")
+        else:
+            sim.schedule(self.latency, deliver, name="wan.deliver")
+        self._pump(sim, key)
+
+    def stats(self) -> Dict[str, Any]:
+        """Per-direction flow stats plus the link-level drop counter."""
+        out: Dict[str, Any] = {"messages_dropped": self.messages_dropped}
+        for key, queue in self._queues.items():
+            out[f"{key[0]}->{key[1]}"] = queue.stats.snapshot()
+        return out
 
 
 class RouterLeg:
@@ -121,6 +205,10 @@ class RouterLeg:
         self._recent: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
         self.messages_forwarded = 0
         self.messages_republished = 0
+        #: forwards pushed back by a full WAN queue (block / no_shed)
+        self.forwards_deferred = 0
+        #: forwards shed by the WAN queue's drop policy or a down link
+        self.forwards_shed = 0
         self._sf_timer = None
         self.host.on_recover(self._on_host_recover)
         self.client.subscribe(ADVERT_SUBJECT, self._on_advert)
@@ -220,7 +308,11 @@ class RouterLeg:
                              size=len(data))
         for leg_name in targets:
             self.messages_forwarded += 1
-            self.router._ship(self, leg_name, data)
+            admission = self.router._ship(self, leg_name, data)
+            if admission is Admission.DEFERRED:
+                self.forwards_deferred += 1
+            elif admission is Admission.DROPPED:
+                self.forwards_shed += 1
 
     # ------------------------------------------------------------------
     # store-and-forward (guaranteed QoS across the WAN)
@@ -386,6 +478,8 @@ class Router:
             self._sim = bus.sim
         elif bus.sim is not self._sim:
             raise ValueError("all legs must share one Simulator")
+        if not self.link.tracer:
+            self.link.tracer = bus.tracer
         address = host_address or f"{self.name}-{bus.name}"
         leg = RouterLeg(self, bus, address, transform, log_traffic)
         self.legs[leg.name] = leg
@@ -401,24 +495,30 @@ class Router:
         for leg in self.legs.values():
             if leg is origin:
                 continue
+            # control-plane traffic is never shed by a full queue
             self.link.send(self._sim, origin.name, leg.name, len(data),
-                           lambda leg=leg: leg._wants_receive(data))
+                           lambda leg=leg: leg._wants_receive(data),
+                           no_shed=True)
 
     def _ship(self, origin: RouterLeg, target_name: str,
-              data: bytes) -> None:
+              data: bytes) -> Admission:
         target = self.legs.get(target_name)
         if target is None:
-            return
-        self.link.send(self._sim, origin.name, target_name, len(data),
-                       lambda: target._wan_receive(data))
+            return Admission.DROPPED
+        return self.link.send(self._sim, origin.name, target_name,
+                              len(data),
+                              lambda: target._wan_receive(data))
 
     def _ship_sf(self, origin: RouterLeg, target_name: str,
                  data: bytes) -> None:
         target = self.legs.get(target_name)
         if target is None:
             return
+        # guaranteed traffic: defer at a full queue (the sf retry timer
+        # re-ships), never shed
         self.link.send(self._sim, origin.name, target_name, len(data),
-                       lambda: target._sf_receive(origin.name, data))
+                       lambda: target._sf_receive(origin.name, data),
+                       no_shed=True)
 
     def _ship_sf_ack(self, origin: RouterLeg, target_name: str,
                      sf_id: str) -> None:
@@ -427,9 +527,16 @@ class Router:
             return
         data = encode({"sf_id": sf_id, "target": origin.name})
         self.link.send(self._sim, origin.name, target_name, len(data),
-                       lambda: target._sf_acked(origin.name, sf_id))
+                       lambda: target._sf_acked(origin.name, sf_id),
+                       no_shed=True)
 
     def stats(self) -> Dict[str, Dict[str, int]]:
         return {name: {"forwarded": leg.messages_forwarded,
-                       "republished": leg.messages_republished}
+                       "republished": leg.messages_republished,
+                       "deferred": leg.forwards_deferred,
+                       "shed": leg.forwards_shed}
                 for name, leg in self.legs.items()}
+
+    def flow_stats(self) -> Dict[str, Any]:
+        """The WAN link's per-direction flow-control queue stats."""
+        return self.link.stats()

@@ -20,6 +20,7 @@ delivered to a large number of destinations without a performance penalty"
 from __future__ import annotations
 
 import dataclasses
+import itertools
 
 from typing import Dict, Iterable, List, Optional, Set
 
@@ -40,6 +41,10 @@ class EthernetSegment:
         self.name = name
         self.cost = cost or CostModel()
         self._hosts: Dict[Address, Host] = {}
+        #: per-segment frame-id counter (a module-global here would leak
+        #: ids across simulators in one process and break same-seed
+        #: reproducibility between back-to-back runs)
+        self._frame_ids = itertools.count(1)
         self._medium_busy_until = 0.0
         self._partition: Optional[List[Set[Address]]] = None
         #: per-receiver probability that a frame arrives with one bit
@@ -122,6 +127,8 @@ class EthernetSegment:
         the packet.  The medium is a FIFO: if it is busy the frame waits,
         which is how unrelated traffic shows up as queueing delay.
         """
+        if frame.frame_id == 0:
+            frame.frame_id = next(self._frame_ids)
         tx_time = self.cost.wire_time(frame.size)
         start = max(self.sim.now, self._medium_busy_until)
         end = start + tx_time

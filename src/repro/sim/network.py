@@ -13,8 +13,7 @@ overheads.  See DESIGN.md ("Calibration of the cost model").
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 __all__ = ["BROADCAST", "Frame", "CostModel", "Address"]
@@ -25,8 +24,6 @@ BROADCAST = "*"
 #: Host addresses are plain strings ("node03"); ports are small ints.
 Address = str
 
-_frame_ids = itertools.count(1)
-
 
 @dataclass
 class Frame:
@@ -34,7 +31,10 @@ class Frame:
 
     ``size`` is the payload size in bytes as accounted by the sender; the
     wire adds :attr:`CostModel.frame_overhead` bytes of header/preamble on
-    top when computing transmission time.
+    top when computing transmission time.  ``frame_id`` is stamped by the
+    segment that transmits the frame, from a per-segment counter — never
+    from process-global state, so same-seed simulations are bit-identical
+    no matter what ran before them in the process.
     """
 
     src: Address
@@ -43,7 +43,7 @@ class Frame:
     dst_port: int
     payload: Any
     size: int
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = 0      # 0 = not yet on a wire
 
     def __post_init__(self) -> None:
         if self.size < 0:

@@ -104,6 +104,16 @@ class Host:
     # ------------------------------------------------------------------
     # data path
     # ------------------------------------------------------------------
+    @property
+    def send_backlog(self) -> float:
+        """Seconds of queued work in the CPU send pipeline.
+
+        0.0 means the next :meth:`send_frame` starts immediately; the
+        daemon's flow-control pump reads this to pace admission to the
+        wire instead of queueing unboundedly inside the pipeline.
+        """
+        return max(0.0, self._send_ready_at - self.sim.now)
+
     def _jitter(self) -> float:
         """Per-packet CPU-cost noise factor (scheduler/cache effects)."""
         if self.cost.cpu_jitter <= 0:

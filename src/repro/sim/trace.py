@@ -10,6 +10,21 @@ guard with the tracer's truthiness::
 so the disabled-tracing cost is one attribute test — the ``**fields``
 kwargs dict is never built.  :data:`NULL_TRACER` is the shared disabled
 instance components fall back to when none is supplied.
+
+Flow-control events (:mod:`repro.core.flow`) share the ``flow.`` prefix:
+
+``flow.drop``
+    A queue shed a message (``queue``, ``policy``/``reason``, ``depth``).
+``flow.defer``
+    A full queue pushed back instead of shedding — always the fate of
+    guaranteed-QoS traffic (``queue``, ``depth``).
+``flow.credit``
+    A queue that had pushed back drained below its resume threshold;
+    upstream may resume (``queue``, ``depth``).
+
+Tracing must never change behavior — emitters may not branch on what
+was recorded, so a traced run and an untraced run of the same seed are
+identical (a property the flow-control tests assert).
 """
 
 from __future__ import annotations
@@ -72,6 +87,16 @@ class Tracer:
 
     def count(self, category: str, **match: Any) -> int:
         return len(self.select(category, **match))
+
+    def category_counts(self, prefix: str = "") -> Dict[str, int]:
+        """Record counts per category, optionally limited to a prefix
+        (e.g. ``"flow."`` for the flow-control event family)."""
+        out: Dict[str, int] = {}
+        for record in self.records:
+            if prefix and not record.category.startswith(prefix):
+                continue
+            out[record.category] = out.get(record.category, 0) + 1
+        return out
 
     def clear(self) -> None:
         self.records.clear()

@@ -202,7 +202,7 @@ def test_list_lots_verb_publishes_every_lot(world):
         "fab5.wip.report", lambda s, o, i: reports.append(o))
     command(bus, commander, "list_lots")
     lots = [o for _, o in status]
-    assert {l.get("lot_id") for l in lots} == {"LOT42", "LOT77"}
-    assert all(l.is_a("wip_lot") for l in lots)
+    assert {lot.get("lot_id") for lot in lots} == {"LOT42", "LOT77"}
+    assert all(lot.is_a("wip_lot") for lot in lots)
     assert reports == [{"lots": 2}]
     assert "MAIN MENU" in screen_text(terminal)

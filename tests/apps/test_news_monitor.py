@@ -34,8 +34,8 @@ def test_headline_summary_list(world):
     assert monitor.stories_received == 3
     lines = monitor.headlines()
     assert "headline" in lines[0]            # view header
-    assert any("Headline 0" in l for l in lines)
-    assert any("Headline 2" in l for l in lines)
+    assert any("Headline 0" in line for line in lines)
+    assert any("Headline 2" in line for line in lines)
 
 
 def test_select_renders_all_attributes_via_mop(world):

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.bench import (MIN_PAYLOAD_SIZE, Summary, format_table, mean,
+from repro.bench import (MIN_PAYLOAD_SIZE, format_table, mean,
                          payload_of_size, summarize, variance)
 from repro.bench.report import Report
 from repro.objects import decode, standard_registry
@@ -110,15 +110,16 @@ def test_ascii_chart_basic_shape():
     assert chart.count("*") == 3
     assert "x" in lines[-1]
     # the max appears on the top tick, min on the bottom tick
-    assert any("31.5" in l or "31.0" in l or "32" in l for l in lines[:4])
+    assert any("31.5" in line or "31.0" in line or "32" in line
+               for line in lines[:4])
 
 
 def test_ascii_chart_monotone_series_renders_monotone():
     from repro.bench import ascii_chart
     points = [(x, float(x)) for x in range(1, 11)]
     chart = ascii_chart(points, width=40, height=10)
-    rows = [l.split("|", 1)[1] for l in chart.splitlines()
-            if "|" in l and not l.strip().startswith("+")]
+    rows = [line.split("|", 1)[1] for line in chart.splitlines()
+            if "|" in line and not line.strip().startswith("+")]
     # star columns must increase top-to-bottom reversed = increasing
     columns = []
     for row in reversed(rows):

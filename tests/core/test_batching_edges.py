@@ -1,0 +1,101 @@
+"""Edge cases of the outbound batcher: threshold interactions, timer
+races, and re-entrant publishes from inside a flush callback."""
+
+from repro.core import BatchConfig, Batcher, Envelope, QoS
+from repro.sim import Simulator
+
+
+def envelope(size_payload=50, subject="a.b"):
+    return Envelope(subject=subject, sender="x", session="s#0", seq=0,
+                    payload=b"\x00" * size_payload, qos=QoS.RELIABLE)
+
+
+def make_batcher(sim, flush=None, batch_bytes=300, batch_delay=0.01,
+                 max_messages=64):
+    batches = []
+    config = BatchConfig(enabled=True, batch_bytes=batch_bytes,
+                         batch_delay=batch_delay, max_messages=max_messages)
+    return Batcher(sim, config, flush or batches.append), batches
+
+
+def test_max_messages_triggers_flush_exactly_at_cap():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, batch_bytes=10**9, max_messages=3)
+    batcher.add(envelope(size_payload=1))
+    batcher.add(envelope(size_payload=1))
+    assert batches == []                    # 2 < cap: still gathering
+    batcher.add(envelope(size_payload=1))   # hits the cap -> flush now
+    assert [len(b) for b in batches] == [3]
+    assert batcher.pending == 0
+    # and the delay timer was cancelled with the flush
+    sim.run_until(1.0)
+    assert len(batches) == 1
+
+
+def test_bytes_threshold_beats_pending_delay_timer():
+    sim = Simulator()
+    one = envelope().size
+    batcher, batches = make_batcher(sim, batch_bytes=int(one * 2.5),
+                                    batch_delay=0.01)
+    batcher.add(envelope())                 # arms the delay timer
+    sim.run_until(0.005)
+    batcher.add(envelope())
+    batcher.add(envelope())                 # crosses bytes mid-window
+    assert [len(b) for b in batches] == [3]
+    flushed_at = sim.now
+    sim.run_until(0.02)                     # delay timer must NOT refire
+    assert len(batches) == 1
+    assert flushed_at < 0.01                # bytes won the race
+
+
+def test_delay_fires_when_bytes_never_reached():
+    sim = Simulator()
+    batcher, batches = make_batcher(sim, batch_bytes=10**9,
+                                    batch_delay=0.01)
+    batcher.add(envelope())
+    batcher.add(envelope())
+    assert batches == []
+    sim.run_until(0.011)
+    assert [len(b) for b in batches] == [2]
+
+
+def test_reentrant_add_from_flush_callback_lands_in_next_batch():
+    sim = Simulator()
+    batches = []
+    holder = {}
+
+    def flush(batch):
+        batches.append(list(batch))
+        if len(batches) == 1:
+            # an application reacting to its own flush by publishing
+            holder["batcher"].add(envelope(subject="re.entrant"))
+
+    batcher, _ = make_batcher(sim, flush=flush, batch_bytes=10**9,
+                              max_messages=2)
+    holder["batcher"] = batcher
+    batcher.add(envelope())
+    batcher.add(envelope())                 # cap -> flush -> re-entrant add
+    assert [len(b) for b in batches] == [2]
+    assert batcher.pending == 1             # not folded into batch 1
+    sim.run_until(1.0)                      # its own delay window flushes it
+    assert [len(b) for b in batches] == [2, 1]
+    assert batches[1][0].subject == "re.entrant"
+
+
+def test_reentrant_flush_does_not_recurse_forever():
+    sim = Simulator()
+    batches = []
+    holder = {}
+
+    def flush(batch):
+        batches.append(list(batch))
+        # pathological consumer: force-flush from inside the callback
+        holder["batcher"].flush()
+
+    batcher, _ = make_batcher(sim, flush=flush, batch_bytes=10**9,
+                              max_messages=2)
+    holder["batcher"] = batcher
+    batcher.add(envelope())
+    batcher.add(envelope())
+    assert [len(b) for b in batches] == [2]
+    assert batcher.pending == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import BusConfig, BusDownError, InformationBus, QoS
+from repro.core import BusDownError, InformationBus
 from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
                            standard_registry)
 from repro.sim import CostModel

@@ -1,7 +1,5 @@
 """Daemon-level tests: tracing, counters, advertisement, edge cases."""
 
-import pytest
-
 from repro.core import (ADVERT_SUBJECT, BusConfig, InformationBus, QoS,
                         validate_subject)
 from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,

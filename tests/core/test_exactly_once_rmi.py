@@ -6,8 +6,6 @@ once, even in the presence of failures, can be built on a layer above
 standard RMI."
 """
 
-import pytest
-
 from repro.core import ExactlyOnceRmiClient, InformationBus, RmiServer
 from repro.objects import (OperationSpec, ParamSpec, ServiceObject,
                            TypeDescriptor, standard_registry)

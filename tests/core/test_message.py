@@ -42,11 +42,20 @@ def test_envelope_defaults():
     assert e.qos is QoS.RELIABLE
     assert e.ledger_id is None
     assert e.via == ()
-    assert e.envelope_id > 0
+    assert e.envelope_id == 0        # unstamped until a daemon sends it
 
 
-def test_envelope_ids_are_unique():
-    assert envelope().envelope_id != envelope().envelope_id
+def test_envelope_ids_stamped_per_sender():
+    # ids come from the publishing daemon's own counter, not a process
+    # global: a fresh sender always starts at 1, so same-seed runs emit
+    # byte-identical frames no matter what ran earlier in the process
+    from repro.core import BusConfig, ReliableConfig
+    from repro.core.reliable import ReliableSender
+    first = ReliableSender("h#0", BusConfig().reliable)
+    ids = [first.stamp(envelope()).envelope_id for _ in range(3)]
+    assert ids == [1, 2, 3]
+    again = ReliableSender("h#1", ReliableConfig())
+    assert again.stamp(envelope()).envelope_id == 1
 
 
 def test_message_info_latency():

@@ -6,9 +6,7 @@ eventually recover.  Section 3.1 defines what reliable delivery must do
 in each case.
 """
 
-import pytest
-
-from repro.core import BusConfig, InformationBus, QoS
+from repro.core import BusConfig, InformationBus
 from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
                            standard_registry)
 from repro.sim import CostModel
@@ -262,7 +260,7 @@ def test_late_joining_daemon_does_not_replay_history():
 
 
 def test_time_based_retention_expires_old_messages():
-    from repro.core import Envelope, ReliableConfig, ReliableSender
+    from repro.core import Envelope, ReliableSender
     from repro.sim import Simulator
     sim = Simulator()
     config = BusConfig().reliable

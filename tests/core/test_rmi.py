@@ -1,7 +1,5 @@
 """Tests for remote method invocation (Section 3.3, Figure 2)."""
 
-import pytest
-
 from repro.core import InformationBus, RmiClient, RmiServer
 from repro.objects import (AttributeSpec, DataObject, OperationSpec,
                            ParamSpec, ServiceObject, TypeDescriptor,

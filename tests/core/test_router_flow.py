@@ -1,0 +1,108 @@
+"""Flow control on the WAN link: bounded store-and-forward queues,
+observable drops, and backpressure on the router leg."""
+
+from repro.core import (Admission, BusConfig, InformationBus,
+                        POLICY_DROP_NEWEST, Router, WanLink)
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           standard_registry)
+from repro.sim import CostModel, Simulator
+from repro.sim.trace import Tracer
+
+
+def story_registry():
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "story", attributes=[AttributeSpec("headline", "string")]))
+    return reg
+
+
+def fast_config():
+    config = BusConfig()
+    config.advert_interval = 0.5
+    return config
+
+
+def two_buses(seed=1, link=None, tracer=None):
+    sim = Simulator(seed=seed)
+    east = InformationBus(cost=CostModel.ideal(), name="east", sim=sim,
+                          config=fast_config(), tracer=tracer)
+    west = InformationBus(cost=CostModel.ideal(), name="west", sim=sim,
+                          config=fast_config(), tracer=tracer)
+    east.add_hosts(2, prefix="e")
+    west.add_hosts(2, prefix="w")
+    router = Router(link=link)
+    router.add_leg(east)
+    router.add_leg(west)
+    return sim, east, west, router
+
+
+def test_down_link_drops_are_counted_and_traced():
+    tracer = Tracer(enabled=True)
+    sim, east, west, router = two_buses(link=WanLink(), tracer=tracer)
+    reg = story_registry()
+    pub = east.client("e00", "feed", registry=reg)
+    received = []
+    west.client("w00", "monitor").subscribe(
+        "news.>", lambda s, *_: received.append(s))
+    sim.run_until(2.0)
+    router.link.fail()
+    for i in range(4):
+        pub.publish(f"news.n{i}", DataObject(reg, "story", headline="X"))
+    sim.run_until(4.0)
+    assert received == []
+    assert router.link.messages_dropped >= 4
+    drops = tracer.select("flow.drop", reason="link-down")
+    assert len(drops) >= 4
+    assert drops[0]["queue"].startswith("wan[")
+    # the leg noticed its forwards were shed
+    stats = router.stats()
+    assert any(s["shed"] >= 4 for s in stats.values())
+
+
+def test_saturated_link_queues_within_bounds_then_sheds():
+    # a 1-message queue with drop-newest: the second of two back-to-back
+    # forwards on a slow link sheds visibly instead of queueing forever
+    slow = WanLink(latency=0.01, bandwidth_bytes_per_sec=500.0,
+                   queue_capacity=1, overflow_policy=POLICY_DROP_NEWEST)
+    sim, east, west, router = two_buses(link=slow)
+    reg = story_registry()
+    pub = east.client("e00", "feed", registry=reg)
+    received = []
+    west.client("w00", "monitor").subscribe(
+        "news.>", lambda s, *_: received.append(s))
+    sim.run_until(2.0)
+    for i in range(6):
+        pub.publish(f"news.n{i}", DataObject(reg, "story", headline="X"))
+    sim.run_until(20.0)
+    stats = router.stats()
+    shed = sum(s["shed"] for s in stats.values())
+    assert shed > 0
+    assert 0 < len(received) < 6
+    flow = router.flow_stats()
+    direction = [v for k, v in flow.items() if k != "messages_dropped"]
+    assert direction   # per-direction queue stats exposed
+    for snap in direction:
+        assert snap["high_watermark"] <= snap["capacity"]
+    assert sum(s["dropped"] for s in direction) == shed
+
+
+def test_link_send_returns_admission():
+    link = WanLink(queue_capacity=1, overflow_policy=POLICY_DROP_NEWEST,
+                   bandwidth_bytes_per_sec=10.0)
+    sim = Simulator(seed=1)
+    delivered = []
+    # first transfer starts immediately; second queues; third sheds
+    assert link.send(sim, "a", "b", 100,
+                     lambda: delivered.append(1)) is Admission.ACCEPTED
+    assert link.send(sim, "a", "b", 100,
+                     lambda: delivered.append(2)) is Admission.ACCEPTED
+    assert link.send(sim, "a", "b", 100,
+                     lambda: delivered.append(3)) is Admission.DROPPED
+    # no_shed traffic defers instead
+    assert link.send(sim, "a", "b", 100, lambda: delivered.append(4),
+                     no_shed=True) is Admission.DEFERRED
+    sim.run()
+    assert delivered == [1, 2]
+    stats = link.stats()
+    assert stats["a->b"]["dropped_newest"] == 1
+    assert stats["a->b"]["deferred"] == 1

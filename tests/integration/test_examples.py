@@ -8,7 +8,6 @@ the suite, not just the demo.
 import importlib.util
 import io
 import os
-import sys
 from contextlib import redirect_stdout
 
 import pytest

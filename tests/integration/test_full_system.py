@@ -16,7 +16,6 @@ from repro.apps import (BusBrowser, CellController, Equipment,
 from repro.core import InformationBus, RmiClient
 from repro.objects import DataObject
 from repro.repository import CaptureServer, QueryServer
-from repro.sim import CostModel
 
 
 @pytest.fixture(scope="module")

@@ -15,7 +15,6 @@ from repro.core import InformationBus, QoS, RmiClient
 from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
                            standard_registry)
 from repro.repository import CaptureServer, QueryServer
-from repro.sim import CostModel
 
 
 def test_rolling_restart_of_every_infrastructure_host():

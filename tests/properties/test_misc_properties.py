@@ -3,7 +3,7 @@
 import math
 import string
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench import MIN_PAYLOAD_SIZE, payload_of_size, summarize

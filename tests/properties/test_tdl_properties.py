@@ -1,11 +1,9 @@
 """Property-based tests: TDL evaluation against a Python reference."""
 
-from fractions import Fraction
-
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.tdl import Interpreter, to_source
+from repro.tdl import Interpreter
 
 
 # ----------------------------------------------------------------------

@@ -175,7 +175,7 @@ def test_non_persistent_capture_loses_data_on_crash(world):
 
 
 def test_find_where_with_serialized_predicate(world):
-    from repro.repository import Contains, Gt, Or, predicate_to_wire
+    from repro.repository import Contains, Or, predicate_to_wire
     bus, reg, pub, repo_client, capture = world
     QueryServer(repo_client, capture.store, "svc.repo")
     for headline, topic in [("alpha up", "gmc"), ("beta down", "ibm"),

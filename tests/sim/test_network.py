@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import (BROADCAST, CostModel, EthernetSegment, Frame, Host,
+from repro.sim import (BROADCAST, CostModel, EthernetSegment, Frame,
                        PortInUseError, Simulator)
 
 
