@@ -10,6 +10,8 @@ model's, not the 1993 testbed's.
 
 import pytest
 
+from repro.core import wire
+
 #: Message sizes swept by the Appendix figures (bytes).
 SIZES = [64, 128, 256, 512, 1024, 2048, 4096, 6000, 8000, 10000]
 
@@ -22,3 +24,12 @@ def messages_for(size: int) -> int:
 @pytest.fixture
 def sizes():
     return list(SIZES)
+
+
+@pytest.fixture(autouse=True)
+def _reset_decode_memo():
+    """Start every benchmark with a cold decode memo: the module-global
+    cache (and its hit/miss stats) must not leak between exhibits."""
+    wire.configure_decode_memo()
+    yield
+    wire.configure_decode_memo()

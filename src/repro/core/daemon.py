@@ -45,7 +45,8 @@ from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
 from .message import Envelope, Packet, PacketKind, QoS
 from .reliable import ReliableConfig, ReliableReceiver, ReliableSender
 from .subjects import SubjectTrie, validate_subject
-from .wire import CorruptFrame, decode_packet, encode_packet
+from .wire import (CorruptFrame, StringTable, UnresolvedStringId,
+                   decode_packet, encode_packet)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .client import BusClient
@@ -97,6 +98,11 @@ class BusConfig:
     #: the escape hatch the perf harness uses to prove cache honesty.
     #: None uses the trie's default.
     match_memo_capacity: Optional[int] = None
+    #: Header-compress DATA/RETRANS frames with a per-session string
+    #: table (see "Wire header compression" in :mod:`repro.core.wire`).
+    #: False keeps the plain encoding — the ablation baseline the perf
+    #: harness compares against to prove behaviour is identical.
+    wire_compression: bool = True
 
 
 class _DeliveryLane:
@@ -140,6 +146,9 @@ class BusDaemon:
         self.guaranteed_deferred = 0
         #: datagrams dropped because their frame failed wire validation
         self.corrupt_dropped = 0
+        #: CRC-valid compressed frames dropped because they referenced
+        #: string-table ids this daemon never learned (repaired via NACK)
+        self.unresolved_dropped = 0
         self._started = False
         host.on_crash(self._on_crash)
         host.on_recover(self._on_recover)
@@ -155,6 +164,12 @@ class BusDaemon:
                                       self._on_datagram)
         self._sender = ReliableSender(self.session, self.config.reliable,
                                       now=lambda: self.sim.now)
+        # wire-compression state is volatile by design: a restarted
+        # daemon has a fresh session name, so receivers key learned
+        # tables by session and can never mix incarnations
+        self._wire_table: Optional[StringTable] = (
+            StringTable() if self.config.wire_compression else None)
+        self._peer_tables: Dict[str, Dict[int, str]] = {}
         self._receiver = ReliableReceiver(self.sim, self.config.reliable,
                                           self._deliver_remote,
                                           self._send_nack,
@@ -436,7 +451,8 @@ class BusDaemon:
         # one encoding per fan-out: the broadcast medium carries these
         # bytes to every consumer, so publisher cost is independent of
         # the consumer count (the paper's headline claim)
-        self._socket.broadcast(encode_packet(packet), DAEMON_PORT)
+        self._socket.broadcast(encode_packet(packet, self._wire_table),
+                               DAEMON_PORT)
 
     def _send_heartbeat(self) -> None:
         if not self.up or self._sender.last_seq == 0:
@@ -451,7 +467,20 @@ class BusDaemon:
     # ------------------------------------------------------------------
     def _on_datagram(self, data: bytes, size: int, src: Endpoint) -> None:
         try:
-            packet = decode_packet(data)
+            packet = decode_packet(data, tables=self._peer_tables)
+        except UnresolvedStringId as err:
+            # CRC-valid but referencing table ids we never learned (the
+            # defining frame was lost): drop it like a gap, but *arm the
+            # repair* — the self-contained RETRANS will resolve
+            self.unresolved_dropped += 1
+            if self.tracer:
+                self.tracer.emit(self.sim.now, "wire.unresolved",
+                                 session=err.session,
+                                 first=err.first_seq, last=err.last_seq)
+            self._receiver.note_undecodable(
+                err.session, err.first_seq, err.last_seq,
+                session_start=err.session_start)
+            return
         except CorruptFrame:
             # a corrupted frame is indistinguishable from loss; the
             # NACK/heartbeat machinery repairs the gap
@@ -484,9 +513,12 @@ class BusDaemon:
         if self.tracer:
             self.tracer.emit(self.sim.now, "retransmit", first=first,
                              last=last, count=len(repairs))
+        # the repair defines every table id it references, so the
+        # requester decodes it even if it missed the defining DATA frame
         reply = Packet(PacketKind.RETRANS, self.session, repairs,
                        session_start=self.session_started)
-        self._socket.sendto(encode_packet(reply), src[0], DAEMON_PORT)
+        self._socket.sendto(encode_packet(reply, self._wire_table),
+                            src[0], DAEMON_PORT)
 
     def _send_nack(self, session: str, first: int, last: int) -> None:
         if not self.up:
@@ -628,6 +660,17 @@ class BusDaemon:
         for name, lane in self._lanes.items():
             stats[f"deliver[{name}]"] = lane.queue.stats.snapshot()
         return stats
+
+    def wire_stats(self) -> Dict[str, Any]:
+        """Wire-compression state: table sizes and unresolvable drops."""
+        return {
+            "compression": self._wire_table is not None,
+            "table_strings": len(self._wire_table)
+            if self._wire_table is not None else 0,
+            "peer_sessions": len(self._peer_tables),
+            "peer_strings": sum(len(t) for t in self._peer_tables.values()),
+            "unresolved_dropped": self.unresolved_dropped,
+        }
 
     def guaranteed_pending(self) -> List[LedgerEntry]:
         return self._gpub.pending()

@@ -24,6 +24,20 @@ from typing import List, Optional, Tuple
 
 __all__ = ["Envelope", "MessageInfo", "Packet", "PacketKind", "QoS"]
 
+# The wire codec imports this module, so it cannot be imported at module
+# load; resolve it once on the first ``size`` access instead of paying a
+# ``from . import wire`` (an attribute lookup plus an import-lock check)
+# on every property read.
+_wire = None
+
+
+def _wire_codec():
+    global _wire
+    if _wire is None:
+        from . import wire
+        _wire = wire
+    return _wire
+
 
 class QoS(enum.Enum):
     """Delivery quality of service."""
@@ -69,9 +83,8 @@ class Envelope:
 
     @property
     def size(self) -> int:
-        """Bytes this envelope occupies inside a wire frame."""
-        from . import wire
-        return wire.envelope_wire_size(self)
+        """Bytes this envelope occupies inside an uncompressed wire frame."""
+        return _wire_codec().envelope_wire_size(self)
 
 
 @dataclass
@@ -95,9 +108,9 @@ class Packet:
 
     @property
     def size(self) -> int:
-        """Bytes this packet occupies on the wire, framing included."""
-        from . import wire
-        return wire.packet_wire_size(self)
+        """Bytes this packet occupies on the wire uncompressed, framing
+        included (mode-independent: see :func:`repro.core.wire.packet_wire_size`)."""
+        return _wire_codec().packet_wire_size(self)
 
 
 @dataclass

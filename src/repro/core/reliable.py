@@ -307,6 +307,38 @@ class ReliableReceiver:
         del state.buffer[victim]
         return True
 
+    def note_undecodable(self, session: str, first_seq: int, last_seq: int,
+                         session_start: Optional[float] = None) -> None:
+        """A frame from ``session`` arrived intact but could not be
+        resolved (compressed header ids this receiver never learned —
+        see :class:`~repro.core.wire.UnresolvedStringId`).
+
+        The frame was dropped, so its envelopes never reached
+        :meth:`handle_envelope`; without this hook the hole would only be
+        noticed when a *later* decodable frame or heartbeat exposed the
+        gap.  Treat it as loss: record how far the session is known to
+        extend and arm a NACK — the RETRANS repair is self-contained
+        (defines every id it references), so it always resolves.
+        """
+        state = self._state(session)
+        if last_seq > state.known_last:
+            state.known_last = last_seq
+        if state.expected is None:
+            if state.sync_event is not None:
+                return   # mid sync window: buffered data will baseline
+            if session_start is not None \
+                    and session_start >= self.started_at:
+                state.expected = 1          # young session: recover it all
+            else:
+                # late joiner: history is not replayed, but *this* frame
+                # is new data we were meant to hear — repair from it.
+                # (NOT ``last_seq + 1``: that would skip the frame and
+                # leave a receiver whose every frame is unresolvable
+                # permanently deaf.)
+                state.expected = first_seq
+        if state.has_gap():
+            self._arm_nack(session, state)
+
     def handle_heartbeat(self, session: str, last_seq: int,
                          session_start: Optional[float] = None) -> None:
         state = self._state(session)

@@ -432,7 +432,12 @@ class RouterLeg:
 
         The re-publication is stamped with every router it has
         traversed, including this one — the loop/duplicate guard for
-        arbitrary topologies.
+        arbitrary topologies.  Because this goes through an ordinary
+        ``client.publish``, the egress daemon stamps a fresh envelope
+        under its *own* session and re-encodes it against its own wire
+        string table (:mod:`repro.core.wire`) — the extended ``via``
+        tuple and any transformed subject get their own table ids, so
+        forwarded frames never leak another bus's table state.
         """
         if not self.client.daemon.up:
             return
@@ -540,3 +545,9 @@ class Router:
     def flow_stats(self) -> Dict[str, Any]:
         """The WAN link's per-direction flow-control queue stats."""
         return self.link.stats()
+
+    def wire_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-leg wire-compression state of each leg's egress daemon
+        (see :meth:`repro.core.daemon.BusDaemon.wire_stats`)."""
+        return {name: leg.client.daemon.wire_stats()
+                for name, leg in self.legs.items()}

@@ -15,46 +15,91 @@ Envelope encodings are cached on the envelope (keyed by its stamped
 published message exactly once no matter how many consumers hear it, and
 NACK repairs re-send the retained bytes instead of re-marshalling.
 
+Wire header compression
+-----------------------
+
+Small payloads are dwarfed by their headers: ``subject``, ``sender``,
+``session``, ``ledger_id``, and ``via`` hops repeat on every envelope a
+session publishes.  A publishing daemon may therefore hold a
+:class:`StringTable` that assigns dense varint ids to header strings in
+first-use order (HPACK-style; ids are never reassigned for the life of
+the session), and encode DATA/RETRANS frames with ids in place of
+strings.  Each frame stays *self-contained*:
+
+* a DATA frame carries inline ``(id, string)`` definitions for every id
+  *first used* in that frame;
+* a RETRANS frame carries definitions for **all** ids it references, so
+  NACK repairs and late joiners decode without having seen the original
+  defining DATA frame.
+
+Receivers learn ``id -> string`` mappings per sender session (the
+session name rides every frame in the clear) from those definition
+sections.  A frame that references an id the receiver has not learned is
+a *decodable-but-unresolvable* condition — structurally parseable (ids
+never change field widths), but semantically incomplete.  The decoder
+applies the frame's definitions (the frame passed its CRC, so they are
+intact), then raises :class:`UnresolvedStringId` carrying the envelope
+seq range; the daemon treats it exactly like a gap: drop the frame and
+NACK, never crash.  HEARTBEAT/NACK/ACK packets are never compressed —
+they are rare, small, and must be readable with zero session state.
+
 Decoding is memoized symmetrically: a broadcast is the *same* byte
 buffer at every receiving daemon, so :func:`decode_packet` keeps a small
 LRU keyed by the exact frame bytes and CRC-checks + parses each unique
 buffer once per fan-out instead of once per receiver.  This is safe
-because decoding is a pure function of the bytes and decoded packets are
-never mutated on the receive path; it is fault-honest because a
-receiver-side bit flip (``corrupt_rate``) produces a *different* buffer
-that misses the memo and fails its own CRC check — every afflicted
-receiver still rejects its own corrupted copy.  Failures are never
-cached.  :func:`configure_decode_memo` resizes or disables the memo (the
-escape hatch the perf harness uses to prove behaviour is unchanged).
+because decoding is a pure function of the bytes *and the receiver's
+string table*: memo entries record which table ids the frame relied on
+(``needs``) and which it defined (``defines``), and a memo hit replays
+the definitions into the receiver's table and validates every needed id
+*by value* against it — a receiver that has not learned an id gets
+:class:`UnresolvedStringId` from the memo exactly as it would from a
+fresh parse, and a (contrived) byte-identical frame meeting a
+conflicting table bypasses the memo entirely.  It is fault-honest
+because a receiver-side bit flip (``corrupt_rate``) produces a
+*different* buffer that misses the memo and fails its own CRC check —
+every afflicted receiver still rejects its own corrupted copy.
+Failures are never cached.  :func:`configure_decode_memo` resizes or
+disables the memo (the escape hatch the perf harness uses to prove
+behaviour is unchanged).
 
 Frame body layout (all integers varint unless noted)::
 
-    packet   := kind:u8 flags:u8 session:str session_start:f64
-                last_seq [first last] [ack_ledger_id:str]
-                [ack_consumer:str] count envelope*
-    envelope := flags:u8 subject:str sender:str session:str seq qos:u8
-                publish_time:f64 envelope_id [ledger_id:str]
-                via_count via:str* payload:bytes
+    packet     := kind:u8 flags:u8 session:str session_start:f64
+                  last_seq [first last] [ack_ledger_id:str]
+                  [ack_consumer:str] [defs] count envelope*
+    defs       := def_count (id string:str)*          # iff flags COMPRESSED
+    envelope   := flags:u8 subject:str sender:str session:str seq qos:u8
+                  publish_time:f64 envelope_id [ledger_id:str]
+                  via_count via:str* payload:bytes
+    envelope'  := flags:u8 subject_id sender_id session_id seq qos:u8
+                  publish_time:f64 envelope_id [ledger_id_id]
+                  via_count via_id* payload:bytes     # iff flags COMPRESSED
 
-``flags`` marks which optional fields follow.  Strings are UTF-8 with a
-varint length prefix; ``f64`` is a big-endian IEEE double.
+``flags`` marks which optional fields follow (packet bit ``0x08`` =
+COMPRESSED).  Strings are UTF-8 with a varint length prefix; ``f64`` is
+a big-endian IEEE double.  Decoded header strings are ``sys.intern``\\ ed
+so the subject-match memo and per-app lanes key on identical objects,
+and the parse itself runs on a single :class:`~repro.sim.framing.Cursor`
+over a zero-copy view of the frame — in the compressed steady state a
+header string is a table lookup, not an allocation.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import OrderedDict
 from io import BytesIO
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..sim.framing import (CorruptFrame, frame, read_bytes, read_f64,
-                           read_str, read_varint, unframe, write_bytes,
-                           write_f64, write_str, write_varint)
+from ..sim.framing import (CorruptFrame, Cursor, frame, unframe_view,
+                           write_bytes, write_f64, write_str, write_varint)
 from .message import Envelope, Packet, PacketKind, QoS
 
-__all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY",
-           "configure_decode_memo", "decode_memo_stats", "decode_packet",
-           "encode_envelope", "encode_packet", "envelope_wire_size",
-           "packet_wire_size"]
+__all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY", "StringTable",
+           "UnresolvedStringId", "configure_decode_memo",
+           "decode_memo_stats", "decode_packet", "encode_envelope",
+           "encode_envelope_compressed", "encode_packet",
+           "envelope_wire_size", "packet_wire_size"]
 
 _KIND_TO_CODE = {
     PacketKind.DATA: 0,
@@ -72,9 +117,66 @@ _CODE_TO_QOS = {code: qos for qos, code in _QOS_TO_CODE.items()}
 _P_NACK_RANGE = 0x01
 _P_ACK_LEDGER = 0x02
 _P_ACK_CONSUMER = 0x04
+_P_COMPRESSED = 0x08
 
 # envelope flag bits
 _E_LEDGER = 0x01
+
+_intern = sys.intern
+
+
+class UnresolvedStringId(CorruptFrame):
+    """A CRC-valid compressed frame referenced ids this receiver lacks.
+
+    Raised after the frame's own definitions have been applied to the
+    receiver's table.  Carries enough metadata for the reliability layer
+    to treat the drop like a gap and arm a NACK
+    (:meth:`~repro.core.reliable.ReliableReceiver.note_undecodable`).
+    """
+
+    def __init__(self, session: str, missing: Iterable[int],
+                 first_seq: int, last_seq: int, session_start: float):
+        self.session = session
+        self.missing = frozenset(missing)
+        self.first_seq = first_seq
+        self.last_seq = last_seq
+        self.session_start = session_start
+        super().__init__(
+            f"unresolved string ids {sorted(self.missing)} in frame "
+            f"from {session!r} (seqs {first_seq}..{last_seq})")
+
+
+class StringTable:
+    """Sender-side header-string table for one daemon session.
+
+    Ids are assigned densely from 0 in first-use order and never
+    reassigned; the table lives and dies with the session (a restarted
+    daemon gets a new session name *and* a new table, so receivers never
+    mix mappings across incarnations).
+    """
+
+    __slots__ = ("ids", "strings")
+
+    def __init__(self) -> None:
+        self.ids: Dict[str, int] = {}
+        self.strings: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self.strings)
+
+    def intern(self, text: str) -> Tuple[int, bool]:
+        """Id for ``text``, assigning the next id on first use.
+
+        Returns ``(id, is_new)``; ``is_new`` tells the packet encoder the
+        frame being built must carry the inline definition.
+        """
+        idx = self.ids.get(text)
+        if idx is not None:
+            return idx, False
+        idx = len(self.strings)
+        self.ids[text] = idx
+        self.strings.append(_intern(text))
+        return idx, True
 
 
 # ----------------------------------------------------------------------
@@ -118,41 +220,68 @@ def encode_envelope(envelope: Envelope) -> bytes:
     return body
 
 
-def _decode_envelope(data: bytes, pos: int) -> Tuple[Envelope, int]:
-    if pos >= len(data):
-        raise CorruptFrame("truncated envelope")
-    flags = data[pos]
-    pos += 1
-    subject, pos = read_str(data, pos)
-    sender, pos = read_str(data, pos)
-    session, pos = read_str(data, pos)
-    seq, pos = read_varint(data, pos)
-    if pos >= len(data):
-        raise CorruptFrame("truncated envelope qos")
-    try:
-        qos = _CODE_TO_QOS[data[pos]]
-    except KeyError:
-        raise CorruptFrame(f"unknown qos code {data[pos]}") from None
-    pos += 1
-    publish_time, pos = read_f64(data, pos)
-    envelope_id, pos = read_varint(data, pos)
-    ledger_id = None
-    if flags & _E_LEDGER:
-        ledger_id, pos = read_str(data, pos)
-    via_count, pos = read_varint(data, pos)
-    via = []
-    for _ in range(via_count):
-        hop, pos = read_str(data, pos)
-        via.append(hop)
-    payload, pos = read_bytes(data, pos)
-    return Envelope(subject=subject, sender=sender, session=session,
-                    seq=seq, payload=payload, qos=qos, ledger_id=ledger_id,
-                    publish_time=publish_time, via=tuple(via),
-                    envelope_id=envelope_id), pos
+def _table_ref(table: StringTable, text: str,
+               new_defs: List[Tuple[int, str]], refs: List[int]) -> int:
+    idx, is_new = table.intern(text)
+    if is_new:
+        new_defs.append((idx, table.strings[idx]))
+    refs.append(idx)
+    return idx
+
+
+def encode_envelope_compressed(
+        envelope: Envelope, table: StringTable,
+        new_defs: List[Tuple[int, str]]) -> Tuple[bytes, Tuple[int, ...]]:
+    """Compressed body + referenced ids for one envelope.
+
+    Header strings are replaced by ids from ``table``; any id assigned
+    during this call is appended to ``new_defs`` so the enclosing DATA
+    frame can carry its definition.  Cached on the envelope alongside the
+    plain encoding, keyed by ``(session, seq)`` *and* the table identity.
+    The defs this envelope introduced are cached too and replayed on a
+    hit — so encoding the same packet twice yields identical bytes, and
+    the frame that carries an envelope always carries the definitions it
+    was responsible for (redundant re-definitions are idempotent at the
+    receiver).
+    """
+    cached = getattr(envelope, "_wire_cache_z", None)
+    key = (envelope.session, envelope.seq)
+    if cached is not None and cached[0] == key and cached[1] is table:
+        new_defs.extend(cached[4])
+        return cached[2], cached[3]
+    refs: List[int] = []
+    out = BytesIO()
+    own_defs: List[Tuple[int, str]] = []
+    flags = _E_LEDGER if envelope.ledger_id is not None else 0
+    out.write(bytes((flags,)))
+    write_varint(out, _table_ref(table, envelope.subject, own_defs, refs))
+    write_varint(out, _table_ref(table, envelope.sender, own_defs, refs))
+    write_varint(out, _table_ref(table, envelope.session, own_defs, refs))
+    write_varint(out, envelope.seq)
+    out.write(bytes((_QOS_TO_CODE[envelope.qos],)))
+    write_f64(out, envelope.publish_time)
+    write_varint(out, envelope.envelope_id)
+    if envelope.ledger_id is not None:
+        write_varint(out,
+                     _table_ref(table, envelope.ledger_id, own_defs, refs))
+    write_varint(out, len(envelope.via))
+    for hop in envelope.via:
+        write_varint(out, _table_ref(table, hop, own_defs, refs))
+    write_bytes(out, envelope.payload)
+    body = out.getvalue()
+    new_defs.extend(own_defs)
+    envelope._wire_cache_z = (key, table, body, tuple(refs),
+                              tuple(own_defs))
+    return body, tuple(refs)
 
 
 def envelope_wire_size(envelope: Envelope) -> int:
-    """Bytes this envelope contributes to a packet body."""
+    """Bytes this envelope contributes to an *uncompressed* packet body.
+
+    Deliberately mode-independent: batching thresholds and tests measure
+    against the canonical encoding, so turning compression on or off
+    never changes batching decisions.
+    """
     return len(encode_envelope(envelope))
 
 
@@ -160,8 +289,17 @@ def envelope_wire_size(envelope: Envelope) -> int:
 # packets
 # ----------------------------------------------------------------------
 
-def encode_packet(packet: Packet) -> bytes:
-    """Encode ``packet`` to one checksummed wire frame."""
+def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
+    """Encode ``packet`` to one checksummed wire frame.
+
+    With ``table`` (the sending daemon's :class:`StringTable`), DATA and
+    RETRANS frames are header-compressed: DATA defines ids first used in
+    this frame, RETRANS defines every id it references (self-contained
+    repair).  Other kinds — and any packet when ``table`` is ``None`` —
+    use the plain encoding.
+    """
+    compress = (table is not None
+                and packet.kind in (PacketKind.DATA, PacketKind.RETRANS))
     out = BytesIO()
     try:
         out.write(bytes((_KIND_TO_CODE[packet.kind],)))
@@ -174,6 +312,8 @@ def encode_packet(packet: Packet) -> bytes:
         flags |= _P_ACK_LEDGER
     if packet.ack_consumer is not None:
         flags |= _P_ACK_CONSUMER
+    if compress:
+        flags |= _P_COMPRESSED
     out.write(bytes((flags,)))
     write_str(out, packet.session)
     write_f64(out, packet.session_start)
@@ -185,9 +325,29 @@ def encode_packet(packet: Packet) -> bytes:
         write_str(out, packet.ack_ledger_id)
     if packet.ack_consumer is not None:
         write_str(out, packet.ack_consumer)
-    write_varint(out, len(packet.envelopes))
-    for envelope in packet.envelopes:
-        out.write(encode_envelope(envelope))
+    if compress:
+        new_defs: List[Tuple[int, str]] = []
+        bodies: List[bytes] = []
+        all_refs: Set[int] = set()
+        for envelope in packet.envelopes:
+            body, refs = encode_envelope_compressed(envelope, table, new_defs)
+            bodies.append(body)
+            all_refs.update(refs)
+        if packet.kind is PacketKind.RETRANS:
+            def_pairs = [(idx, table.strings[idx]) for idx in sorted(all_refs)]
+        else:
+            def_pairs = new_defs
+        write_varint(out, len(def_pairs))
+        for idx, text in def_pairs:
+            write_varint(out, idx)
+            write_str(out, text)
+        write_varint(out, len(bodies))
+        for body in bodies:
+            out.write(body)
+    else:
+        write_varint(out, len(packet.envelopes))
+        for envelope in packet.envelopes:
+            out.write(encode_envelope(envelope))
     return frame(out.getvalue())
 
 
@@ -196,7 +356,11 @@ def encode_packet(packet: Packet) -> bytes:
 #: few hundred entries cover even deep outbound queues.
 DEFAULT_DECODE_MEMO_CAPACITY = 256
 
-_decode_memo: "OrderedDict[bytes, Packet]" = OrderedDict()
+# entry: (packet, needs, defines) — needs/defines are None for plain
+# frames; for compressed frames, defines maps in-frame definitions and
+# needs maps every other referenced id to its value at parse time.
+_MemoEntry = Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]]]
+_decode_memo: "OrderedDict[bytes, _MemoEntry]" = OrderedDict()
 _decode_memo_capacity = DEFAULT_DECODE_MEMO_CAPACITY
 _decode_memo_hits = 0
 _decode_memo_misses = 0
@@ -220,69 +384,181 @@ def decode_memo_stats() -> Dict[str, int]:
             "hits": _decode_memo_hits, "misses": _decode_memo_misses}
 
 
-def decode_packet(data: bytes) -> Packet:
+def decode_packet(data: bytes,
+                  tables: Optional[Dict[str, Dict[int, str]]] = None
+                  ) -> Packet:
     """Decode one wire frame back to a :class:`Packet`.
 
+    ``tables`` is the receiving daemon's per-session learned string
+    tables (``session -> {id: string}``); compressed frames read and
+    update them.  Without ``tables`` a throwaway table is used, so only
+    fully self-contained frames resolve.
+
     Raises :class:`CorruptFrame` on any framing, checksum, or field
-    validation failure — the caller drops the frame and lets the
-    NACK/heartbeat machinery repair the gap.  Successful decodes are
-    memoized by the exact frame bytes (see the module docstring), so the
-    N receivers of one broadcast share a single parse.
+    validation failure, and its subclass :class:`UnresolvedStringId`
+    when a compressed frame references ids this receiver has not
+    learned — the caller drops the frame and lets the NACK/heartbeat
+    machinery repair the gap.  Successful decodes are memoized by the
+    exact frame bytes (see the module docstring), so the N receivers of
+    one broadcast share a single parse; the memo replays each frame's
+    table effects per receiver, keeping per-receiver outcomes identical
+    to a fresh parse.
     """
     global _decode_memo_hits, _decode_memo_misses
     key = None
     if _decode_memo_capacity:
         key = bytes(data)
-        cached = _decode_memo.get(key)
-        if cached is not None:
-            _decode_memo.move_to_end(key)
-            _decode_memo_hits += 1
-            return cached
-    packet = _decode_packet_body(data)
+        entry = _decode_memo.get(key)
+        if entry is not None:
+            packet, needs, defines = entry
+            if needs is None:                       # plain frame
+                _decode_memo.move_to_end(key)
+                _decode_memo_hits += 1
+                return packet
+            table = (tables.setdefault(packet.session, {})
+                     if tables is not None else {})
+            for idx, text in defines.items():
+                table[idx] = text
+            unresolved = []
+            mismatch = False
+            for idx, text in needs.items():
+                have = table.get(idx)
+                if have is None:
+                    unresolved.append(idx)
+                elif have != text:
+                    mismatch = True                 # colliding table state:
+                    break                           # this parse isn't ours
+            if not mismatch:
+                _decode_memo.move_to_end(key)
+                _decode_memo_hits += 1
+                if unresolved:
+                    seqs = [e.seq for e in packet.envelopes]
+                    raise UnresolvedStringId(
+                        packet.session, unresolved, min(seqs), max(seqs),
+                        packet.session_start)
+                return packet
+            key = None                              # bypass, parse fresh
+    packet, needs, defines = _decode_packet_body(data, tables)
     if key is not None:
         _decode_memo_misses += 1
-        _decode_memo[key] = packet
+        _decode_memo[key] = (packet, needs, defines)
         while len(_decode_memo) > _decode_memo_capacity:
             _decode_memo.popitem(last=False)
     return packet
 
 
-def _decode_packet_body(data: bytes) -> Packet:
-    body = unframe(data)
-    if len(body) < 2:
-        raise CorruptFrame("packet body too short")
+def _resolve_ref(idx: int, table: Dict[int, str], referenced: Set[int],
+                 missing: Set[int]) -> str:
+    referenced.add(idx)
+    value = table.get(idx)
+    if value is None:
+        missing.add(idx)
+        return ""
+    return value
+
+
+def _decode_packet_body(
+        data: bytes, tables: Optional[Dict[str, Dict[int, str]]]
+) -> Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]]]:
+    cur = Cursor(unframe_view(data))
     try:
-        kind = _CODE_TO_KIND[body[0]]
+        kind = _CODE_TO_KIND[cur.u8()]
     except KeyError:
-        raise CorruptFrame(f"unknown packet kind code {body[0]}") from None
-    flags = body[1]
-    pos = 2
-    session, pos = read_str(body, pos)
-    session_start, pos = read_f64(body, pos)
-    last_seq, pos = read_varint(body, pos)
+        raise CorruptFrame("unknown packet kind code") from None
+    flags = cur.u8()
+    session = _intern(cur.str_())
+    session_start = cur.f64()
+    last_seq = cur.varint()
     nack_range = None
     if flags & _P_NACK_RANGE:
-        first, pos = read_varint(body, pos)
-        last, pos = read_varint(body, pos)
+        first = cur.varint()
+        last = cur.varint()
         nack_range = (first, last)
     ack_ledger_id = None
     if flags & _P_ACK_LEDGER:
-        ack_ledger_id, pos = read_str(body, pos)
+        ack_ledger_id = _intern(cur.str_())
     ack_consumer = None
     if flags & _P_ACK_CONSUMER:
-        ack_consumer, pos = read_str(body, pos)
-    count, pos = read_varint(body, pos)
+        ack_consumer = _intern(cur.str_())
+    compressed = bool(flags & _P_COMPRESSED)
+    needs: Optional[Dict[int, str]] = None
+    defines: Optional[Dict[int, str]] = None
+    table: Dict[int, str] = {}
+    referenced: Set[int] = set()
+    missing: Set[int] = set()
+    if compressed:
+        if kind not in (PacketKind.DATA, PacketKind.RETRANS):
+            raise CorruptFrame(f"compressed flag on {kind.value} packet")
+        # the frame passed its CRC, so the defs section is intact: apply
+        # it to the receiver's table even if resolution fails below —
+        # that is what makes a later repair decodable.
+        if tables is not None:
+            table = tables.setdefault(session, {})
+        defines = {}
+        for _ in range(cur.varint()):
+            idx = cur.varint()
+            text = _intern(cur.str_())
+            defines[idx] = text
+            table[idx] = text
+    count = cur.varint()
     envelopes = []
     for _ in range(count):
-        envelope, pos = _decode_envelope(body, pos)
-        envelopes.append(envelope)
-    if pos != len(body):
-        raise CorruptFrame(f"{len(body) - pos} trailing bytes after packet")
-    return Packet(kind, session, envelopes, nack_range=nack_range,
-                  last_seq=last_seq, session_start=session_start,
-                  ack_ledger_id=ack_ledger_id, ack_consumer=ack_consumer)
+        envelopes.append(
+            _read_envelope(cur, compressed, table, referenced, missing))
+    if not cur.exhausted:
+        raise CorruptFrame(f"{cur.remaining()} trailing bytes after packet")
+    if missing:
+        seqs = [e.seq for e in envelopes]
+        raise UnresolvedStringId(session, missing, min(seqs), max(seqs),
+                                 session_start)
+    if compressed:
+        needs = {idx: table[idx] for idx in referenced
+                 if idx not in defines}
+    return (Packet(kind, session, envelopes, nack_range=nack_range,
+                   last_seq=last_seq, session_start=session_start,
+                   ack_ledger_id=ack_ledger_id, ack_consumer=ack_consumer),
+            needs, defines)
+
+
+def _read_envelope(cur: Cursor, compressed: bool, table: Dict[int, str],
+                   referenced: Set[int], missing: Set[int]) -> Envelope:
+    flags = cur.u8()
+    if compressed:
+        subject = _resolve_ref(cur.varint(), table, referenced, missing)
+        sender = _resolve_ref(cur.varint(), table, referenced, missing)
+        session = _resolve_ref(cur.varint(), table, referenced, missing)
+    else:
+        subject = _intern(cur.str_())
+        sender = _intern(cur.str_())
+        session = _intern(cur.str_())
+    seq = cur.varint()
+    qos_code = cur.u8()
+    try:
+        qos = _CODE_TO_QOS[qos_code]
+    except KeyError:
+        raise CorruptFrame(f"unknown qos code {qos_code}") from None
+    publish_time = cur.f64()
+    envelope_id = cur.varint()
+    ledger_id = None
+    if flags & _E_LEDGER:
+        if compressed:
+            ledger_id = _resolve_ref(cur.varint(), table, referenced, missing)
+        else:
+            ledger_id = _intern(cur.str_())
+    via_count = cur.varint()
+    via = []
+    for _ in range(via_count):
+        if compressed:
+            via.append(_resolve_ref(cur.varint(), table, referenced, missing))
+        else:
+            via.append(_intern(cur.str_()))
+    payload = cur.bytes_()
+    return Envelope(subject=subject, sender=sender, session=session,
+                    seq=seq, payload=payload, qos=qos, ledger_id=ledger_id,
+                    publish_time=publish_time, via=tuple(via),
+                    envelope_id=envelope_id)
 
 
 def packet_wire_size(packet: Packet) -> int:
-    """Total bytes ``packet`` occupies on the wire, framing included."""
+    """Bytes ``packet`` occupies on the wire uncompressed, framing included."""
     return len(encode_packet(packet))

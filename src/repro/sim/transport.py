@@ -24,8 +24,8 @@ from dataclasses import dataclass
 from io import BytesIO
 from typing import Callable, Deque, Dict, Optional, Tuple
 
-from .framing import (CorruptFrame, frame, read_bytes, read_varint,
-                      unframe, write_bytes, write_varint)
+from .framing import (CorruptFrame, Cursor, frame, unframe_view,
+                      write_bytes, write_varint)
 from .kernel import Event, Simulator
 from .network import BROADCAST, Address, Frame
 from .node import Host
@@ -179,18 +179,16 @@ def _encode_seg(seg: _StreamSeg) -> bytes:
 
 def _decode_seg(data: bytes) -> _StreamSeg:
     """Decode one wire frame back to a segment; raises CorruptFrame."""
-    body = unframe(data)
-    if not body:
-        raise CorruptFrame("empty segment body")
+    cur = Cursor(unframe_view(data))
     try:
-        kind = _CODE_TO_KIND[body[0]]
+        kind = _CODE_TO_KIND[cur.u8()]
     except KeyError:
-        raise CorruptFrame(f"unknown segment kind code {body[0]}") from None
-    conn_id, pos = read_varint(body, 1)
-    seq, pos = read_varint(body, pos)
-    payload, pos = read_bytes(body, pos)
-    if pos != len(body):
-        raise CorruptFrame(f"{len(body) - pos} trailing bytes after segment")
+        raise CorruptFrame("unknown segment kind code") from None
+    conn_id = cur.varint()
+    seq = cur.varint()
+    payload = cur.bytes_()
+    if not cur.exhausted:
+        raise CorruptFrame(f"{cur.remaining()} trailing bytes after segment")
     return _StreamSeg(kind, conn_id, seq, payload)
 
 

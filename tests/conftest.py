@@ -1,0 +1,19 @@
+"""Shared test configuration.
+
+The wire codec keeps a module-global decode memo (and hit/miss stats) so
+the N receivers of one broadcast share a single parse.  Left alone it
+would leak entries — and stats — across test cases: a test could hit an
+entry primed by an unrelated test, or assert on counters another test
+inflated.  Reset it around every test so each case starts cold.
+"""
+
+import pytest
+
+from repro.core import wire
+
+
+@pytest.fixture(autouse=True)
+def _reset_decode_memo():
+    wire.configure_decode_memo()
+    yield
+    wire.configure_decode_memo()

@@ -1,0 +1,116 @@
+"""Property-based tests for the framing primitives: varint hygiene and
+the allocation-lean :class:`~repro.sim.framing.Cursor` fast path.
+
+A corrupt frame must never make the varint decoder spin through an
+unbounded run of continuation bytes — the length is capped at
+:data:`~repro.sim.framing.MAX_VARINT_BYTES` and anything longer raises
+:class:`~repro.sim.framing.CorruptFrame`.  The cursor must agree
+byte-for-byte with the historical ``read_*`` free functions.
+"""
+
+from io import BytesIO
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.framing import (CorruptFrame, Cursor, MAX_VARINT_BYTES,
+                               frame, read_bytes, read_f64, read_str,
+                               read_varint, unframe, unframe_view,
+                               write_bytes, write_f64, write_str,
+                               write_varint)
+
+
+@given(st.integers(0, 2**64 - 1))
+@settings(max_examples=200, deadline=None)
+def test_varint_round_trip(value):
+    out = BytesIO()
+    write_varint(out, value)
+    data = out.getvalue()
+    assert len(data) <= MAX_VARINT_BYTES
+    assert read_varint(data, 0) == (value, len(data))
+    cur = Cursor(data)
+    assert cur.varint() == value
+    assert cur.exhausted
+
+
+@given(st.integers(min_value=-(2**64), max_value=-1))
+@settings(max_examples=50, deadline=None)
+def test_write_varint_rejects_negative(value):
+    with pytest.raises(ValueError):
+        write_varint(BytesIO(), value)
+
+
+@given(st.integers(MAX_VARINT_BYTES, 64))
+@settings(max_examples=50, deadline=None)
+def test_overlong_varint_is_rejected(length):
+    """``length`` continuation bytes never terminate within the cap: both
+    decoders must raise instead of spinning through the run."""
+    data = b"\x80" * length + b"\x01"
+    with pytest.raises(CorruptFrame):
+        read_varint(data, 0)
+    with pytest.raises(CorruptFrame):
+        Cursor(data).varint()
+
+
+def test_maximal_varint_is_accepted():
+    """Exactly 10 bytes encodes up to 70 bits — the cap must not reject
+    a legitimate 64-bit value."""
+    value = 2**64 - 1
+    out = BytesIO()
+    write_varint(out, value)
+    data = out.getvalue()
+    assert len(data) == MAX_VARINT_BYTES
+    assert read_varint(data, 0)[0] == value
+    assert Cursor(data).varint() == value
+
+
+@given(st.binary(max_size=64), st.text(max_size=32),
+       st.floats(allow_nan=False, allow_infinity=False),
+       st.integers(0, 2**40))
+@settings(max_examples=200, deadline=None)
+def test_cursor_agrees_with_read_functions(raw, text, value, number):
+    out = BytesIO()
+    write_bytes(out, raw)
+    write_str(out, text)
+    write_f64(out, value)
+    write_varint(out, number)
+    data = out.getvalue()
+
+    got_raw, pos = read_bytes(data, 0)
+    got_text, pos = read_str(data, pos)
+    got_value, pos = read_f64(data, pos)
+    got_number, pos = read_varint(data, pos)
+    assert pos == len(data)
+
+    cur = Cursor(data)
+    assert cur.bytes_() == got_raw == raw
+    assert cur.str_() == got_text == text
+    assert cur.f64() == got_value == value
+    assert cur.varint() == got_number == number
+    assert cur.exhausted and cur.remaining() == 0
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=100, deadline=None)
+def test_unframe_view_is_zero_copy_unframe(body):
+    framed = frame(body)
+    view = unframe_view(framed)
+    assert isinstance(view, memoryview)
+    assert view.tobytes() == unframe(framed) == body
+
+
+@given(st.binary(min_size=1, max_size=64))
+@settings(max_examples=100, deadline=None)
+def test_cursor_rejects_truncation(body):
+    """Reading past the end of a buffer always raises, never wraps."""
+    out = BytesIO()
+    write_bytes(out, body)
+    data = out.getvalue()[:-1]
+    with pytest.raises(CorruptFrame):
+        Cursor(data).bytes_()
+    with pytest.raises(CorruptFrame):
+        cur = Cursor(b"")
+        cur.u8()
+    with pytest.raises(CorruptFrame):
+        Cursor(b"\x00" * 7).f64()
