@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples quicktest all clean
+.PHONY: install test bench pytest-bench lint examples quicktest all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -11,7 +11,14 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/perf/run_perf.py
+
+pytest-bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+lint:
+	ruff check src tests benchmarks tools
+	$(PYTHON) tools/check_stats_surfaces.py
 
 examples:
 	$(PYTHON) -m repro all

@@ -17,6 +17,9 @@ wall-clock cost, the ceiling on how much traffic a run can push through:
 * ``wire_bytes`` — bytes on the wire per delivered message with
   ``BusConfig.wire_compression`` off vs on: the tentpole bandwidth win,
   measured end-to-end on a data-dominated fan-out.
+* ``metrics_overhead`` — the fan-out again with the unified metrics
+  registry live vs stubbed (``BusConfig.metrics_stub``): instrumenting
+  the hot path must cost < ``--max-metrics-overhead`` (default 5%).
 
 Each bench runs twice: with the caches disabled (the escape hatches:
 ``match_memo_capacity=0`` and ``configure_decode_memo(0)`` — the pre-PR
@@ -115,6 +118,63 @@ def bench_fanout(messages: int, repeats: int) -> dict:
             messages * CONSUMERS / best, 1)
     result["speedup"] = round(
         result["cached_msgs_per_sec"] / result["baseline_msgs_per_sec"], 2)
+    return result
+
+
+# ----------------------------------------------------------------------
+# metrics overhead: the unified registry must stay off the hot path
+# ----------------------------------------------------------------------
+
+def _metrics_once(messages: int, stub: bool, seed: int = 2026) -> dict:
+    """The fan-out scenario again, pivoted on ``metrics_stub``: live
+    per-name instruments vs the shared throwaway ones."""
+    wire.configure_decode_memo()
+    bus = InformationBus(seed=seed, cost=CostModel.ideal(),
+                         config=BusConfig(metrics_stub=stub))
+    bus.add_hosts(CONSUMERS + 1)
+    counts = [0] * CONSUMERS
+    patterns = ["feed.>", "feed.equity.>", "feed.equity.*"]
+    for i in range(CONSUMERS):
+        def on_message(subject, obj, info, i=i):
+            counts[i] += 1
+        consumer = bus.client(f"node{i + 1:02d}", "consumer")
+        for pattern in patterns:
+            consumer.subscribe(pattern, on_message)
+    publisher = bus.client("node00", "pub")
+    payload = encode({"tick": 1}, publisher.registry, inline_types=False)
+
+    start = time.perf_counter()
+    for n in range(messages):
+        publisher.publish_bytes(SUBJECT_CYCLE[n & 7], payload)
+    bus.settle(10.0)
+    elapsed = time.perf_counter() - start
+
+    expected = messages * CONSUMERS * len(patterns)
+    deliveries = sum(counts)
+    assert deliveries == expected, (
+        f"metrics bench lost messages: {deliveries} != {expected}")
+    if stub:
+        assert all(d.metrics.snapshot() == {}
+                   for d in bus.daemons.values()), "stub mode registered"
+    else:
+        assert all(d.metrics.snapshot() for d in bus.daemons.values()), (
+            "live registries are empty — nothing was measured")
+    return {"elapsed": elapsed, "deliveries": deliveries}
+
+
+def bench_metrics_overhead(messages: int, repeats: int) -> dict:
+    """Fan-out throughput with the registry live vs stubbed.  The stub
+    shares one throwaway instrument per kind, so the increments still
+    execute and the difference isolates what per-name instruments add."""
+    result = {"messages": messages, "consumers": CONSUMERS,
+              "repeats": repeats}
+    for label, stub in (("stubbed", True), ("live", False)):
+        best = min(_metrics_once(messages, stub)["elapsed"]
+                   for _ in range(repeats))
+        result[f"{label}_msgs_per_sec"] = round(messages / best, 1)
+    result["overhead"] = round(
+        result["stubbed_msgs_per_sec"] / result["live_msgs_per_sec"] - 1.0,
+        4)
     return result
 
 
@@ -483,6 +543,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-wire-reduction", type=float, default=0.25,
                         help="fail unless header compression cuts wire "
                              "bytes per message by at least this fraction")
+    parser.add_argument("--max-metrics-overhead", type=float, default=0.05,
+                        help="fail if live registry instruments cost more "
+                             "than this fraction of fan-out throughput "
+                             "vs the stubbed registry")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -530,10 +594,14 @@ def main(argv=None) -> int:
     wire.configure_decode_memo()
     print(f"wire_bytes: compression off vs on, {fanout_msgs} msgs ...")
     benches["wire_bytes"] = bench_wire_bytes(fanout_msgs)
+    print(f"metrics_overhead: registry live vs stubbed, "
+          f"{fanout_msgs} msgs ...")
+    benches["metrics_overhead"] = bench_metrics_overhead(fanout_msgs,
+                                                         repeats)
     wire.configure_decode_memo()   # leave the process at defaults
 
     report = {
-        "schema": 2,
+        "schema": 3,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -549,6 +617,8 @@ def main(argv=None) -> int:
         rates = ", ".join(f"{k}={bench[k]:,.0f}" for k in sorted(keys))
         if "speedup" in bench:
             print(f"  {name}: {rates}  (speedup {bench['speedup']}x)")
+        elif "overhead" in bench:
+            print(f"  {name}: {rates}  (overhead {bench['overhead']:.1%})")
         else:
             print(f"  {name}: {bench['plain_bytes_per_msg']} -> "
                   f"{bench['compressed_bytes_per_msg']} bytes/msg  "
@@ -570,6 +640,11 @@ def main(argv=None) -> int:
     if reduction < args.min_wire_reduction:
         print(f"FAIL: wire-byte reduction {reduction:.1%} < "
               f"required {args.min_wire_reduction:.1%}")
+        failed = True
+    overhead = benches["metrics_overhead"]["overhead"]
+    if overhead > args.max_metrics_overhead:
+        print(f"FAIL: metrics overhead {overhead:.1%} > "
+              f"allowed {args.max_metrics_overhead:.1%}")
         failed = True
     return 1 if failed else 0
 

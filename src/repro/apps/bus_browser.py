@@ -12,6 +12,10 @@ The :class:`BusBrowser` is such a tool:
   presence / down) — services whose presence lapses are marked stale;
 * a **traffic monitor** counting messages and bytes per subject prefix
   for everything its wildcard subscriptions can see;
+* a **telemetry console** subscribed to the reserved ``_bus.stat.>``
+  space: every daemon (and router) publishing registry snapshots shows
+  up in :meth:`telemetry`, and :meth:`bus_top` aggregates the fleet's
+  headline counters — the bus monitored through the bus itself;
 * :meth:`inspect` fetches a live service's full interface description
   through the ordinary discovery protocol, so a user can go from "what
   exists?" to "what operations does it have?" to driving it via the
@@ -23,10 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from ..core import BusClient, Inquiry, MessageInfo
+from ..core import BusClient, Inquiry, MessageInfo, STAT_SUBJECT_PREFIX
+from ..core.metrics import sum_counters
 from ..core.rmi import SERVICE_ADVERT_SUBJECT
 
-__all__ = ["BusBrowser", "ServiceEntry", "SubjectStats"]
+__all__ = ["BusBrowser", "HostTelemetry", "ServiceEntry", "SubjectStats"]
 
 #: A service is stale after missing this many presence periods.
 _STALE_AFTER = 3.0
@@ -64,6 +69,24 @@ class SubjectStats:
         return self.messages / window
 
 
+@dataclass
+class HostTelemetry:
+    """The latest ``_bus.stat.*`` snapshot from one publishing source."""
+
+    source: str                  # "node00.daemon", "router0.router", ...
+    interval: float              # the publisher's advertised period
+    first_seen: float
+    last_seen: float
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    snapshots: int = 0
+
+    def alive(self, now: float) -> bool:
+        """Fresh iff a snapshot arrived within ~3 publisher periods
+        (missing that many means the publisher is down or unreachable)."""
+        period = self.interval if self.interval > 0 else 1.0
+        return now - self.last_seen < _STALE_AFTER * period
+
+
 class BusBrowser:
     """A monitoring application: service directory + per-subject traffic."""
 
@@ -72,8 +95,14 @@ class BusBrowser:
         self.client = client
         self.services: Dict[tuple, ServiceEntry] = {}
         self.subjects: Dict[str, SubjectStats] = {}
-        self._subscriptions = [client.subscribe(SERVICE_ADVERT_SUBJECT,
-                                                self._on_advert)]
+        #: telemetry sources keyed by "<host>.<kind>" (subject suffix)
+        self.stats: Dict[str, HostTelemetry] = {}
+        self._subscriptions = [
+            client.subscribe(SERVICE_ADVERT_SUBJECT, self._on_advert),
+            # reserved subjects are invisible to plain ">" — the
+            # telemetry plane must be watched explicitly
+            client.subscribe(f"{STAT_SUBJECT_PREFIX}.>", self._on_stat),
+        ]
         for pattern in (watch_patterns or [">"]):
             self._subscriptions.append(
                 client.subscribe(pattern, self._on_traffic))
@@ -150,6 +179,65 @@ class BusBrowser:
         return sum(s.messages for s in self.subjects.values())
 
     # ------------------------------------------------------------------
+    # telemetry (the reserved ``_bus.stat.*`` space)
+    # ------------------------------------------------------------------
+    def _on_stat(self, subject: str, payload: Any,
+                 info: MessageInfo) -> None:
+        if not isinstance(payload, dict) or "metrics" not in payload:
+            return
+        source = subject.split(".", 2)[-1]   # "_bus.stat.<host>.<kind>"
+        now = self.client.sim.now
+        entry = self.stats.get(source)
+        if entry is None:
+            entry = HostTelemetry(source=source,
+                                  interval=payload.get("interval", 0.0),
+                                  first_seen=now, last_seen=now)
+            self.stats[source] = entry
+        entry.interval = payload.get("interval", entry.interval)
+        entry.metrics = payload["metrics"]
+        entry.last_seen = now
+        entry.snapshots += 1
+
+    def telemetry(self) -> List[HostTelemetry]:
+        """Telemetry sources with a fresh snapshot, sorted by source."""
+        now = self.client.sim.now
+        return sorted((t for t in self.stats.values() if t.alive(now)),
+                      key=lambda t: t.source)
+
+    def bus_top(self) -> Dict[str, int]:
+        """A ``top``-style fleet aggregate over every fresh snapshot.
+
+        Sums the headline counters of all live telemetry sources —
+        daemons and routers alike, across router-bridged segments when
+        stat bridging is on — so one browser shows the whole bus.
+        """
+        totals = {"hosts": 0, "published": 0, "delivered": 0,
+                  "dropped": 0, "deferred": 0, "retransmissions": 0}
+        for entry in self.telemetry():
+            totals["hosts"] += 1
+            metrics = entry.metrics
+            # the reliable layer re-counts deliveries per session and
+            # router legs mirror their WAN queue's counters, so sums are
+            # scoped by family to count each event exactly once
+            daemon = {n: e for n, e in metrics.items()
+                      if n.startswith("daemon.")}
+            flow = {n: e for n, e in metrics.items()
+                    if n.startswith("flow.")}
+            totals["published"] += sum_counters(daemon, [".published"])
+            totals["delivered"] += sum_counters(daemon, [".delivered"])
+            totals["dropped"] += sum_counters(
+                flow, [".dropped_newest", ".dropped_oldest"])
+            totals["dropped"] += sum_counters(
+                metrics, [".corrupt_dropped", ".unresolved_dropped",
+                          ".messages_dropped"])
+            totals["deferred"] += sum_counters(flow, [".deferred"])
+            totals["deferred"] += sum_counters(daemon,
+                                               [".guaranteed_deferred"])
+            totals["retransmissions"] += sum_counters(
+                metrics, [".retransmissions"])
+        return totals
+
+    # ------------------------------------------------------------------
     def report(self) -> str:
         """A human-readable snapshot (what an operator console shows)."""
         now = self.client.sim.now
@@ -167,6 +255,21 @@ class BusBrowser:
                          f" senders={len(stats.senders)}")
         if len(self.subjects) == 0:
             lines.append("  (no traffic)")
+        lines.append("== telemetry ==")
+        live = self.telemetry()
+        if live:
+            top = self.bus_top()
+            lines.append(
+                f"  {top['hosts']} sources:"
+                f" pub={top['published']} dlv={top['delivered']}"
+                f" drop={top['dropped']} defer={top['deferred']}"
+                f" rexmit={top['retransmissions']}")
+            for entry in live:
+                lines.append(f"  {entry.source:<28}"
+                             f" snapshots={entry.snapshots}"
+                             f" instruments={len(entry.metrics)}")
+        else:
+            lines.append("  (no stat publishers)")
         return "\n".join(lines)
 
     def stop(self) -> None:

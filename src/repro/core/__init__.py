@@ -13,9 +13,12 @@ from .flow import (Admission, BoundedBuffer, BoundedQueue, FlowConfig,
                    POLICY_DROP_NEWEST, POLICY_DROP_OLDEST, PublishReceipt)
 from .reliable import (ReliableConfig, ReliableReceiver, ReliableSender,
                        SessionStats)
+from .metrics import (Counter, Gauge, Histogram, MetricsPublisher,
+                      MetricsRegistry, MetricsScope, sum_counters)
 from .batching import BatchConfig, Batcher
 from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
-from .daemon import (ADVERT_SUBJECT, DAEMON_PORT, BusConfig, BusDaemon,
+from .daemon import (ADVERT_SUBJECT, DAEMON_PORT, STAT_PORT,
+                     STAT_SUBJECT_PREFIX, BusConfig, BusDaemon,
                      BusDownError)
 from .client import BusClient, Subscription
 from .bus import InformationBus
@@ -29,7 +32,9 @@ __all__ = [
     "ADVERT_SUBJECT", "Admission", "BadSubjectError", "BatchConfig",
     "Batcher", "BoundedBuffer", "BoundedQueue",
     "BusClient", "BusConfig", "BusDaemon", "BusDownError", "CorruptFrame",
-    "DAEMON_PORT", "DiscoveredService", "Envelope",
+    "Counter", "DAEMON_PORT", "DiscoveredService", "Envelope", "Gauge",
+    "Histogram", "MetricsPublisher", "MetricsRegistry", "MetricsScope",
+    "STAT_PORT", "STAT_SUBJECT_PREFIX", "sum_counters",
     "FlowConfig", "FlowStats", "OVERFLOW_POLICIES", "POLICY_BLOCK",
     "POLICY_DROP_NEWEST", "POLICY_DROP_OLDEST", "PublishReceipt",
     "GuaranteedConsumer", "GuaranteedPublisher", "InformationBus",

@@ -76,6 +76,9 @@ class BusClient:
         self.messages_received = 0
         self.decode_errors = 0
         self.last_error: Optional[Exception] = None
+        #: publish-to-callback latency histogram, owned by the daemon's
+        #: registry (``client.<name>.latency``); attach_client wires it
+        self._latency = None
         daemon.attach_client(self)
 
     @property
@@ -207,6 +210,10 @@ class BusClient:
                 subscription.callback(envelope.subject, obj, info)
         if delivered:
             self.messages_received += 1
+            # seq-0 envelopes are telemetry-plane self-traffic: they are
+            # delivered but never measured (the no-echo invariant)
+            if envelope.seq and self._latency is not None:
+                self._latency.observe(self.sim.now - envelope.publish_time)
 
     def _reattach(self) -> None:
         """Re-register all subscriptions after the host recovered."""

@@ -40,9 +40,11 @@ from ..sim.trace import NULL_TRACER, Tracer
 from ..objects import encode
 from ..sim.transport import DatagramSocket, Endpoint
 from .batching import BatchConfig, Batcher
-from .flow import (Admission, BoundedQueue, FlowConfig, PublishReceipt)
+from .flow import (Admission, BoundedQueue, FlowConfig, POLICY_DROP_OLDEST,
+                   PublishReceipt)
 from .guaranteed import GuaranteedConsumer, GuaranteedPublisher, LedgerEntry
 from .message import Envelope, Packet, PacketKind, QoS
+from .metrics import MetricsPublisher, MetricsRegistry
 from .reliable import ReliableConfig, ReliableReceiver, ReliableSender
 from .subjects import SubjectTrie, validate_subject
 from .wire import (CorruptFrame, StringTable, UnresolvedStringId,
@@ -52,14 +54,26 @@ if TYPE_CHECKING:  # pragma: no cover
     from .client import BusClient
 
 __all__ = ["ADVERT_SUBJECT", "BusConfig", "BusDaemon", "BusDownError",
-           "DAEMON_PORT"]
+           "DAEMON_PORT", "STAT_PORT", "STAT_SUBJECT_PREFIX"]
 
 #: The well-known UDP port every daemon binds.
 DAEMON_PORT = 7
 
+#: The well-known UDP port the telemetry plane broadcasts on.  Stat
+#: frames ride a *separate* socket so their transport counters never
+#: perturb the data plane's — the first half of the no-echo guarantee.
+STAT_PORT = 8
+
 #: Reserved subject on which daemons advertise their subscription tables
 #: (consumed by information routers; see repro.core.router).
 ADVERT_SUBJECT = "_sub.advert"
+
+#: Reserved subject space for telemetry snapshots: a daemon publishes
+#: its registry on ``_bus.stat.<host>.daemon``, a router on
+#: ``_bus.stat.<router>.router``.  Reserved (``_``-prefixed) subjects
+#: are invisible to ``>`` wildcards — subscribe ``_bus.stat.>``
+#: explicitly (see :class:`repro.apps.bus_browser.BusBrowser`).
+STAT_SUBJECT_PREFIX = "_bus.stat"
 
 
 class BusDownError(RuntimeError):
@@ -103,6 +117,20 @@ class BusConfig:
     #: False keeps the plain encoding — the ablation baseline the perf
     #: harness compares against to prove behaviour is identical.
     wire_compression: bool = True
+    #: Seconds between telemetry snapshots published on
+    #: ``_bus.stat.<host>.daemon``.  0 (the default) disables the
+    #: publisher entirely; runs with it on are bit-identical to runs
+    #: with it off (a tested invariant — see docs/OBSERVABILITY.md).
+    stat_interval: float = 0.0
+    #: Envelopes the bounded stat-publish queue holds (drop-oldest:
+    #: under backpressure stale snapshots are shed first — the newest
+    #: snapshot supersedes them anyway).
+    stat_queue: int = 8
+    #: Replace every registry instrument with shared no-op stubs — the
+    #: ablation knob the ``metrics_overhead`` perf bench uses to bound
+    #: what full instrumentation costs.  Not for normal use: stats
+    #: surfaces read garbage under it.
+    metrics_stub: bool = False
 
 
 class _DeliveryLane:
@@ -137,22 +165,68 @@ class BusDaemon:
         #: upstream credit listeners (publishers waiting to resume);
         #: persistent across restarts, re-wired to each new queue
         self._publish_credit_cbs: List[Any] = []
-        # counters (survive restarts; they describe the daemon object)
-        self.published = 0
-        self.delivered = 0
-        self.acks_sent = 0
+        #: every counter/gauge/histogram this daemon owns, one registry
+        #: (the object that gets snapshotted onto ``_bus.stat.*``).  The
+        #: registry itself survives restarts; per-incarnation instrument
+        #: families are dropped by :meth:`_start`.
+        self.metrics = MetricsRegistry(stub=self.config.metrics_stub)
+        # daemon-lifetime counters (survive restarts; they describe the
+        # daemon object) — int views exposed as properties below
+        scope = self.metrics.scope(f"daemon.{host.address}")
+        self._published = scope.counter("published")
+        self._delivered = scope.counter("delivered")
+        self._acks_sent = scope.counter("acks_sent")
         #: guaranteed deliveries pushed back to the ledger because a
         #: delivery lane was full (never shed — redelivered later)
-        self.guaranteed_deferred = 0
+        self._guaranteed_deferred = scope.counter("guaranteed_deferred")
         #: datagrams dropped because their frame failed wire validation
-        self.corrupt_dropped = 0
+        self._corrupt_dropped = scope.counter("wire.corrupt_dropped")
         #: CRC-valid compressed frames dropped because they referenced
         #: string-table ids this daemon never learned (repaired via NACK)
-        self.unresolved_dropped = 0
+        self._unresolved_dropped = scope.counter("wire.unresolved_dropped")
+        # lazily read wire/topology gauges (cost is paid at snapshot)
+        scope.gauge("clients", source=lambda: len(self.clients))
+        scope.gauge("subscriptions",
+                    source=lambda: len(self._subscriptions))
+        scope.gauge("wire.table_strings",
+                    source=lambda: (len(self._wire_table)
+                                    if self._wire_table is not None else 0))
+        scope.gauge("wire.peer_sessions",
+                    source=lambda: len(self._peer_tables))
+        scope.gauge("wire.peer_strings",
+                    source=lambda: sum(len(t)
+                                       for t in self._peer_tables.values()))
         self._started = False
         host.on_crash(self._on_crash)
         host.on_recover(self._on_recover)
         self._start()
+
+    # ------------------------------------------------------------------
+    # counter views (ints, the historical attribute surface)
+    # ------------------------------------------------------------------
+    @property
+    def published(self) -> int:
+        return self._published.value
+
+    @property
+    def delivered(self) -> int:
+        return self._delivered.value
+
+    @property
+    def acks_sent(self) -> int:
+        return self._acks_sent.value
+
+    @property
+    def guaranteed_deferred(self) -> int:
+        return self._guaranteed_deferred.value
+
+    @property
+    def corrupt_dropped(self) -> int:
+        return self._corrupt_dropped.value
+
+    @property
+    def unresolved_dropped(self) -> int:
+        return self._unresolved_dropped.value
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -160,10 +234,23 @@ class BusDaemon:
     def _start(self) -> None:
         self.session = f"{self.host.address}#{self.host.epoch}"
         self.session_started = self.sim.now
+        # per-incarnation instrument families restart from zero, exactly
+        # like the volatile state they describe (sessions, queues);
+        # daemon-lifetime counters above are untouched
+        for prefix in ("reliable.", "flow.reliable.retention[",
+                       f"flow.outbound[{self.host.address}]",
+                       f"flow.batch[{self.host.address}]",
+                       f"transport.daemon[{self.host.address}]"):
+            self.metrics.drop_prefix(prefix)
         self._socket = DatagramSocket(self.sim, self.host, DAEMON_PORT,
-                                      self._on_datagram)
+                                      self._on_datagram,
+                                      metrics=self.metrics,
+                                      metrics_name=(
+                                          f"transport.daemon"
+                                          f"[{self.host.address}]"))
         self._sender = ReliableSender(self.session, self.config.reliable,
-                                      now=lambda: self.sim.now)
+                                      now=lambda: self.sim.now,
+                                      metrics=self.metrics)
         # wire-compression state is volatile by design: a restarted
         # daemon has a fresh session name, so receivers key learned
         # tables by session and can never mix incarnations
@@ -173,7 +260,8 @@ class BusDaemon:
         self._receiver = ReliableReceiver(self.sim, self.config.reliable,
                                           self._deliver_remote,
                                           self._send_nack,
-                                          tracer=self.tracer)
+                                          tracer=self.tracer,
+                                          metrics=self.metrics)
         flow = self.config.flow
         # admission queue: publishes enter the outbound pipeline here.
         # Guaranteed envelopes are never evicted (the evict filter) —
@@ -183,7 +271,8 @@ class BusDaemon:
             flow.publish_policy,
             evict_filter=lambda env: env.qos is not QoS.GUARANTEED,
             on_evict=self._outbound_evicted,
-            tracer=self.tracer, now=lambda: self.sim.now)
+            tracer=self.tracer, now=lambda: self.sim.now,
+            metrics=self.metrics)
         self._outbound.on_credit(self._fire_publish_credits)
         self._pump_event: Optional[Event] = None
         self._pumping = False
@@ -192,7 +281,8 @@ class BusDaemon:
             queue=BoundedQueue(
                 f"batch[{self.host.address}]",
                 capacity=max(self.config.batch.max_messages, 1),
-                tracer=self.tracer, now=lambda: self.sim.now))
+                tracer=self.tracer, now=lambda: self.sim.now,
+                metrics=self.metrics))
         memo = self.config.match_memo_capacity
         self._subscriptions: SubjectTrie = SubjectTrie(memo_capacity=memo)
         self._durable: SubjectTrie = SubjectTrie(memo_capacity=memo)
@@ -214,12 +304,32 @@ class BusDaemon:
             self._advert_timer = PeriodicTimer(
                 self.sim, self.config.advert_interval,
                 self._advertise_snapshot, name="daemon.advert")
+        # telemetry plane: own socket, own bounded queue, and NO
+        # registry instruments of its own — the publisher must never
+        # publish stats about its own stat traffic (no echo)
+        self._stat_socket = DatagramSocket(self.sim, self.host, STAT_PORT,
+                                           self._on_stat_datagram)
+        self._stat_queue = BoundedQueue(
+            f"stat[{self.host.address}]", max(self.config.stat_queue, 1),
+            POLICY_DROP_OLDEST)
+        self._stat_pump_event: Optional[Event] = None
+        self._stat_publisher: Optional[MetricsPublisher] = None
+        if self.config.stat_interval > 0:
+            self._stat_publisher = MetricsPublisher(
+                self.sim, self.metrics, self.publish_stats,
+                self.config.stat_interval, name="daemon.stat")
         self._started = True
 
     def _on_crash(self) -> None:
         self._started = False
         if self._advert_timer is not None:
             self._advert_timer.stop()
+        if self._stat_publisher is not None:
+            self._stat_publisher.stop()
+        if self._stat_pump_event is not None:
+            self._stat_pump_event.cancel()
+            self._stat_pump_event = None
+        self._stat_queue.clear()
         self._heartbeat.stop()
         if self._pump_event is not None:
             self._pump_event.cancel()
@@ -265,8 +375,13 @@ class BusDaemon:
                 flow.delivery_policy,
                 # guaranteed deliveries are deferred, never evicted
                 evict_filter=lambda item: item[0].ledger_id is None,
-                tracer=self.tracer, now=lambda: self.sim.now),
+                tracer=self.tracer, now=lambda: self.sim.now,
+                metrics=self.metrics),
             service_time=getattr(client, "service_time", 0.0))
+        # end-to-end latency (publish stamp -> application callback),
+        # observed by the client itself on each delivery
+        client._latency = self.metrics.histogram(
+            f"client.{client.name}.latency")
 
     def detach_client(self, client: "BusClient") -> None:
         self.clients.pop(client.name, None)
@@ -373,7 +488,7 @@ class BusDaemon:
         if admission is not Admission.ACCEPTED:
             return PublishReceipt(admission, len(payload))
         self._sender.stamp(envelope)
-        self.published += 1
+        self._published.value += 1
         if self.tracer:
             self.tracer.emit(self.sim.now, "publish", subject=subject,
                              seq=envelope.seq, size=len(payload))
@@ -472,7 +587,7 @@ class BusDaemon:
             # CRC-valid but referencing table ids we never learned (the
             # defining frame was lost): drop it like a gap, but *arm the
             # repair* — the self-contained RETRANS will resolve
-            self.unresolved_dropped += 1
+            self._unresolved_dropped.value += 1
             if self.tracer:
                 self.tracer.emit(self.sim.now, "wire.unresolved",
                                  session=err.session,
@@ -484,7 +599,7 @@ class BusDaemon:
         except CorruptFrame:
             # a corrupted frame is indistinguishable from loss; the
             # NACK/heartbeat machinery repairs the gap
-            self.corrupt_dropped += 1
+            self._corrupt_dropped.value += 1
             return
         if packet.kind is PacketKind.DATA:
             for envelope in packet.envelopes:
@@ -558,7 +673,8 @@ class BusDaemon:
             # instant consumer: the historical synchronous fast path
             if lane is not None:
                 lane.queue.pass_through()
-            self.delivered += 1
+            if envelope.seq:   # seq-0 = telemetry; never self-counted
+                self._delivered.value += 1
             client._deliver(envelope, retransmitted)
             return Admission.ACCEPTED
         admission = lane.queue.offer(
@@ -582,7 +698,8 @@ class BusDaemon:
         envelope, retransmitted = lane.queue.take()
         client = self.clients.get(name)
         if client is not None:
-            self.delivered += 1
+            if envelope.seq:   # seq-0 = telemetry; never self-counted
+                self._delivered.value += 1
             client._deliver(envelope, retransmitted)
         if lane.queue and lane.drain_event is None:
             self._arm_lane(name, lane)
@@ -597,7 +714,7 @@ class BusDaemon:
         return True
 
     def _defer_guaranteed(self, envelope: Envelope) -> None:
-        self.guaranteed_deferred += 1
+        self._guaranteed_deferred.value += 1
         if self.tracer:
             self.tracer.emit(self.sim.now, "flow.defer", queue="deliver",
                              ledger_id=envelope.ledger_id,
@@ -637,7 +754,7 @@ class BusDaemon:
 
     def _send_ack(self, envelope: Envelope) -> None:
         origin_host = envelope.ledger_id.split("/", 1)[0]
-        self.acks_sent += 1
+        self._acks_sent.value += 1
         packet = Packet(PacketKind.ACK, self.session,
                         ack_ledger_id=envelope.ledger_id,
                         ack_consumer=self.host.address)
@@ -646,6 +763,96 @@ class BusDaemon:
             self._gpub.handle_ack(envelope.ledger_id, self.host.address)
             return
         self._socket.sendto(encode_packet(packet), origin_host, DAEMON_PORT)
+
+    # ------------------------------------------------------------------
+    # telemetry plane (reserved ``_bus.stat.*`` subjects)
+    # ------------------------------------------------------------------
+    def publish_stats(self, snapshot: Dict[str, Any]) -> None:
+        """Publish one registry snapshot on ``_bus.stat.<host>.daemon``.
+
+        Snapshots are self-describing data objects (the
+        :mod:`repro.objects` marshalling), exactly as the paper's
+        system-management tools expect: any subscriber can decode them
+        with no out-of-band schema.
+        """
+        if not self.up:
+            return
+        payload = encode({"host": self.host.address,
+                          "time": self.sim.now,
+                          "interval": self.config.stat_interval,
+                          "metrics": snapshot})
+        self.publish_stat_bytes(
+            f"{STAT_SUBJECT_PREFIX}.{self.host.address}.daemon", payload)
+
+    def publish_stat_bytes(self, subject: str, payload: bytes,
+                           via: tuple = ()) -> None:
+        """Broadcast a telemetry envelope outside the data plane.
+
+        Stat envelopes are *unsequenced* (``seq == 0``): they bypass the
+        reliable protocol entirely, so they never consume data-plane
+        sequence numbers, never trigger NACKs, and are trivially
+        identifiable for exclusion from the counters they would perturb.
+        They are plain-encoded (no string table) so the data plane's
+        wire-compression state is untouched, and they queue in a private
+        drop-oldest buffer so a congested wire sheds stale snapshots
+        instead of amplifying load — the no-echo invariant.
+        """
+        if not self.up:
+            return
+        envelope = Envelope(subject=subject, sender=self.session,
+                            session=self.session, seq=0, payload=payload,
+                            publish_time=self.sim.now, via=tuple(via))
+        self._dispatch_stat(envelope)          # local subscribers
+        self._stat_queue.offer(envelope)
+        self._pump_stats()
+
+    def _pump_stats(self) -> None:
+        """Drain the stat queue to the wire, paced like the data pump."""
+        backlog_cap = self.config.flow.max_send_backlog
+        while self._stat_queue:
+            if backlog_cap is not None:
+                backlog = self.host.send_backlog
+                if backlog >= backlog_cap:
+                    if self._stat_pump_event is None:
+                        self._stat_pump_event = self.sim.schedule(
+                            backlog - backlog_cap + 1e-9,
+                            self._stat_pump_fire, name="stat.pump")
+                    return
+            envelope = self._stat_queue.take()
+            packet = Packet(PacketKind.DATA, self.session, [envelope],
+                            session_start=self.session_started)
+            # plain encoding: stat frames never touch the string table
+            self._stat_socket.broadcast(encode_packet(packet), STAT_PORT)
+
+    def _stat_pump_fire(self) -> None:
+        self._stat_pump_event = None
+        if self.up:
+            self._pump_stats()
+
+    def _on_stat_datagram(self, data: bytes, size: int,
+                          src: Endpoint) -> None:
+        try:
+            packet = decode_packet(data)
+        except CorruptFrame:
+            return   # telemetry is best-effort: no counter, no repair
+        if packet.kind is not PacketKind.DATA:
+            return
+        if packet.session == self.session:
+            return   # our own broadcast echoed back
+        for envelope in packet.envelopes:
+            self._dispatch_stat(envelope)
+
+    def _dispatch_stat(self, envelope: Envelope) -> None:
+        """Deliver a stat envelope to local ``_bus.*`` subscribers.
+
+        Rides the ordinary delivery lanes (so a slow browser backlogs
+        and sheds like any application) but skips the reliable receive
+        protocol — stat envelopes carry no sequence numbers to order.
+        """
+        if not self.up:
+            return
+        for client in self._subscriptions.match(envelope.subject):
+            self._lane_offer(client, envelope, retransmitted=False)
 
     # ------------------------------------------------------------------
     # introspection helpers (tests, benches, routers)

@@ -42,6 +42,8 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Deque, Dict, List, Optional, Tuple,
                     TYPE_CHECKING)
 
+from .metrics import MetricsRegistry, MetricsScope
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.trace import Tracer
     from .message import Envelope
@@ -78,27 +80,81 @@ def _check_policy(policy: str) -> str:
     return policy
 
 
-@dataclass
 class FlowStats:
-    """Counters for one bounded queue (benches, tests, operators)."""
+    """Counters for one bounded queue (benches, tests, operators).
 
-    name: str
-    capacity: int
-    policy: str
-    depth: int = 0
-    high_watermark: int = 0
-    offered: int = 0
-    accepted: int = 0
-    deferred: int = 0
-    dropped_newest: int = 0
-    dropped_oldest: int = 0
-    drained: int = 0
-    credits: int = 0
+    Since the telemetry-plane refactor this is a thin *view* over
+    :mod:`repro.core.metrics` instruments named ``flow.<queue>.<field>``:
+    the int-returning properties and :meth:`snapshot` keep the historical
+    read surface, while the underlying counters live in whichever
+    :class:`~repro.core.metrics.MetricsRegistry` the queue's owner passed
+    in (the owning daemon's, for bus queues) — or in a detached private
+    registry for standalone queues, which behaves identically.
+    """
+
+    __slots__ = ("name", "capacity", "policy", "_depth", "_high_watermark",
+                 "_offered", "_accepted", "_deferred", "_dropped_newest",
+                 "_dropped_oldest", "_drained", "_credits")
+
+    def __init__(self, name: str, capacity: int, policy: str,
+                 metrics: Optional["MetricsRegistry"] = None):
+        self.name = name
+        self.capacity = capacity
+        self.policy = policy
+        if metrics is None:
+            metrics = MetricsRegistry()
+        scope: MetricsScope = metrics.scope(f"flow.{name}")
+        self._depth = scope.gauge("depth")
+        self._high_watermark = scope.gauge("high_watermark")
+        self._offered = scope.counter("offered")
+        self._accepted = scope.counter("accepted")
+        self._deferred = scope.counter("deferred")
+        self._dropped_newest = scope.counter("dropped_newest")
+        self._dropped_oldest = scope.counter("dropped_oldest")
+        self._drained = scope.counter("drained")
+        self._credits = scope.counter("credits")
+
+    # int-returning views (the historical dataclass fields)
+    @property
+    def depth(self) -> int:
+        return self._depth.value
+
+    @property
+    def high_watermark(self) -> int:
+        return self._high_watermark.value
+
+    @property
+    def offered(self) -> int:
+        return self._offered.value
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted.value
+
+    @property
+    def deferred(self) -> int:
+        return self._deferred.value
+
+    @property
+    def dropped_newest(self) -> int:
+        return self._dropped_newest.value
+
+    @property
+    def dropped_oldest(self) -> int:
+        return self._dropped_oldest.value
+
+    @property
+    def drained(self) -> int:
+        return self._drained.value
+
+    @property
+    def credits(self) -> int:
+        return self._credits.value
 
     @property
     def dropped(self) -> int:
         """Total sheds, whichever end they came from."""
-        return self.dropped_newest + self.dropped_oldest
+        return self._dropped_newest.value + self._dropped_oldest.value
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -142,7 +198,8 @@ class BoundedQueue:
                  evict_filter: Optional[Callable[[Any], bool]] = None,
                  on_evict: Optional[Callable[[Any], None]] = None,
                  tracer: Optional["Tracer"] = None,
-                 now: Optional[Callable[[], float]] = None):
+                 now: Optional[Callable[[], float]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1 (got {capacity})")
         self.capacity = capacity
@@ -156,7 +213,7 @@ class BoundedQueue:
         self._tracing = _FlowTracing(name, tracer, now)
         self._pressured = False
         self._credit_cbs: List[Callable[[], None]] = []
-        self.stats = FlowStats(name=name, capacity=capacity, policy=policy)
+        self.stats = FlowStats(name, capacity, self.policy, metrics)
 
     # ------------------------------------------------------------------
     # introspection
@@ -194,19 +251,19 @@ class BoundedQueue:
         regardless of policy — used for guaranteed-QoS traffic, which is
         deferred to its retransmission layer rather than shed.
         """
-        self.stats.offered += 1
+        self.stats._offered.value += 1
         if len(self._items) < self.capacity:
             self._items.append(item)
             self._note_depth()
-            self.stats.accepted += 1
+            self.stats._accepted.value += 1
             return Admission.ACCEPTED
         self._pressured = True
         if no_shed or self.policy == POLICY_BLOCK:
-            self.stats.deferred += 1
+            self.stats._deferred.value += 1
             self._tracing.trace("flow.defer", depth=len(self._items))
             return Admission.DEFERRED
         if self.policy == POLICY_DROP_NEWEST:
-            self.stats.dropped_newest += 1
+            self.stats._dropped_newest.value += 1
             self._tracing.trace("flow.drop", end="newest",
                                 depth=len(self._items))
             return Admission.DROPPED
@@ -214,27 +271,27 @@ class BoundedQueue:
         victim = self._evict_oldest()
         if victim is None:
             # nothing evictable (e.g. all queued traffic is guaranteed)
-            self.stats.deferred += 1
+            self.stats._deferred.value += 1
             self._tracing.trace("flow.defer", depth=len(self._items))
             return Admission.DEFERRED
-        self.stats.dropped_oldest += 1
+        self.stats._dropped_oldest.value += 1
         self._tracing.trace("flow.drop", end="oldest",
                             depth=len(self._items))
         if self._on_evict is not None:
             self._on_evict(victim)
         self._items.append(item)
         self._note_depth()
-        self.stats.accepted += 1
+        self.stats._accepted.value += 1
         return Admission.ACCEPTED
 
     def pass_through(self) -> None:
         """Account an item that bypassed the deque entirely (the empty-
         queue fast path delivers synchronously but still counts)."""
-        self.stats.offered += 1
-        self.stats.accepted += 1
-        self.stats.drained += 1
-        if self.stats.high_watermark == 0:
-            self.stats.high_watermark = 1 if self.capacity >= 1 else 0
+        self.stats._offered.value += 1
+        self.stats._accepted.value += 1
+        self.stats._drained.value += 1
+        if self.stats._high_watermark.value == 0:
+            self.stats._high_watermark.value = 1 if self.capacity >= 1 else 0
 
     def _evict_oldest(self) -> Optional[Any]:
         if self._evict_filter is None:
@@ -249,9 +306,9 @@ class BoundedQueue:
 
     def _note_depth(self) -> None:
         depth = len(self._items)
-        self.stats.depth = depth
-        if depth > self.stats.high_watermark:
-            self.stats.high_watermark = depth
+        self.stats._depth.value = depth
+        if depth > self.stats._high_watermark.value:
+            self.stats._high_watermark.value = depth
 
     # ------------------------------------------------------------------
     # consumer side
@@ -259,8 +316,8 @@ class BoundedQueue:
     def take(self) -> Any:
         """Dequeue the head; fires credits when pressure is relieved."""
         item = self._items.popleft()
-        self.stats.drained += 1
-        self.stats.depth = len(self._items)
+        self.stats._drained.value += 1
+        self.stats._depth.value = len(self._items)
         self._maybe_credit()
         return item
 
@@ -277,8 +334,8 @@ class BoundedQueue:
         out = []
         while self._items and len(out) < limit:
             out.append(self._items.popleft())
-        self.stats.drained += len(out)
-        self.stats.depth = len(self._items)
+        self.stats._drained.value += len(out)
+        self.stats._depth.value = len(self._items)
         if out:
             self._maybe_credit()
         return out
@@ -290,14 +347,14 @@ class BoundedQueue:
         """
         count = len(self._items)
         self._items.clear()
-        self.stats.depth = 0
+        self.stats._depth.value = 0
         self._pressured = False
         return count
 
     def _maybe_credit(self) -> None:
         if self._pressured and len(self._items) <= self.resume_at:
             self._pressured = False
-            self.stats.credits += 1
+            self.stats._credits.value += 1
             self._tracing.trace("flow.credit", depth=len(self._items))
             for callback in list(self._credit_cbs):
                 callback()
@@ -320,7 +377,8 @@ class BoundedBuffer:
                  policy: str = POLICY_DROP_NEWEST, *,
                  on_evict: Optional[Callable[[Any, Any], None]] = None,
                  tracer: Optional["Tracer"] = None,
-                 now: Optional[Callable[[], float]] = None):
+                 now: Optional[Callable[[], float]] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1 (got {capacity})")
         self.capacity = capacity
@@ -328,7 +386,7 @@ class BoundedBuffer:
         self._on_evict = on_evict
         self._items: "OrderedDict[Any, Any]" = OrderedDict()
         self._tracing = _FlowTracing(name, tracer, now)
-        self.stats = FlowStats(name=name, capacity=capacity, policy=policy)
+        self.stats = FlowStats(name, capacity, self.policy, metrics)
 
     @property
     def name(self) -> str:
@@ -349,34 +407,34 @@ class BoundedBuffer:
 
     def insert(self, key: Any, item: Any) -> Admission:
         """Insert ``key → item``; a full buffer applies the policy."""
-        self.stats.offered += 1
+        self.stats._offered.value += 1
         if key in self._items:
             self._items[key] = item
-            self.stats.accepted += 1
+            self.stats._accepted.value += 1
             return Admission.ACCEPTED
         if len(self._items) < self.capacity:
             self._items[key] = item
             self._note_depth()
-            self.stats.accepted += 1
+            self.stats._accepted.value += 1
             return Admission.ACCEPTED
         if self.policy == POLICY_BLOCK:
-            self.stats.deferred += 1
+            self.stats._deferred.value += 1
             self._tracing.trace("flow.defer", depth=len(self._items), key=key)
             return Admission.DEFERRED
         if self.policy == POLICY_DROP_NEWEST:
-            self.stats.dropped_newest += 1
+            self.stats._dropped_newest.value += 1
             self._tracing.trace("flow.drop", end="newest",
                                 depth=len(self._items), key=key)
             return Admission.DROPPED
         old_key, old_item = self._items.popitem(last=False)
-        self.stats.dropped_oldest += 1
+        self.stats._dropped_oldest.value += 1
         self._tracing.trace("flow.drop", end="oldest",
                             depth=len(self._items), key=old_key)
         if self._on_evict is not None:
             self._on_evict(old_key, old_item)
         self._items[key] = item
         self._note_depth()
-        self.stats.accepted += 1
+        self.stats._accepted.value += 1
         return Admission.ACCEPTED
 
     def get(self, key: Any, default: Any = None) -> Any:
@@ -384,9 +442,9 @@ class BoundedBuffer:
 
     def pop(self, key: Any, default: Any = None) -> Any:
         if key in self._items:
-            self.stats.drained += 1
+            self.stats._drained.value += 1
             item = self._items.pop(key)
-            self.stats.depth = len(self._items)
+            self.stats._depth.value = len(self._items)
             return item
         return default
 
@@ -396,8 +454,8 @@ class BoundedBuffer:
 
     def pop_oldest(self) -> Tuple[Any, Any]:
         pair = self._items.popitem(last=False)
-        self.stats.drained += 1
-        self.stats.depth = len(self._items)
+        self.stats._drained.value += 1
+        self.stats._depth.value = len(self._items)
         return pair
 
     def keys(self):
@@ -406,14 +464,14 @@ class BoundedBuffer:
     def clear(self) -> int:
         count = len(self._items)
         self._items.clear()
-        self.stats.depth = 0
+        self.stats._depth.value = 0
         return count
 
     def _note_depth(self) -> None:
         depth = len(self._items)
-        self.stats.depth = depth
-        if depth > self.stats.high_watermark:
-            self.stats.high_watermark = depth
+        self.stats._depth.value = depth
+        if depth > self.stats._high_watermark.value:
+            self.stats._high_watermark.value = depth
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<BoundedBuffer {self.name} {len(self._items)}/"

@@ -31,6 +31,7 @@ from ..sim.kernel import Event, Simulator
 from ..sim.trace import Tracer
 from .flow import BoundedBuffer, POLICY_DROP_NEWEST, POLICY_DROP_OLDEST
 from .message import Envelope
+from .metrics import MetricsRegistry
 
 __all__ = ["ReliableConfig", "ReliableSender", "ReliableReceiver",
            "SessionStats"]
@@ -84,7 +85,8 @@ class ReliableSender:
     """
 
     def __init__(self, session: str, config: ReliableConfig,
-                 now: Callable[[], float] = lambda: 0.0):
+                 now: Callable[[], float] = lambda: 0.0,
+                 metrics: Optional[MetricsRegistry] = None):
         self.session = session
         self.config = config
         self.now = now
@@ -97,12 +99,22 @@ class ReliableSender:
         # "how much repairability the retention bound cost us"
         self._retention = BoundedBuffer(
             f"reliable.retention[{session}]",
-            capacity=max(config.retention, 1), policy=POLICY_DROP_OLDEST)
-        self.retransmissions = 0
+            capacity=max(config.retention, 1), policy=POLICY_DROP_OLDEST,
+            metrics=metrics)
+        if metrics is None:
+            metrics = MetricsRegistry()
+        self._retransmissions = metrics.counter(
+            f"reliable.send[{session}].retransmissions")
 
     @property
     def last_seq(self) -> int:
         return self.next_seq - 1
+
+    @property
+    def retransmissions(self) -> int:
+        """Envelopes re-sent to serve NACK repairs (an int view over
+        the ``reliable.send[<session>].retransmissions`` counter)."""
+        return self._retransmissions.value
 
     @property
     def retention_stats(self):
@@ -149,31 +161,71 @@ class ReliableSender:
             entry = self._retention.get(seq)
             if entry is not None:
                 found.append(entry[0])
-        self.retransmissions += len(found)
+        self._retransmissions.value += len(found)
         return found
 
 
-@dataclass
 class SessionStats:
-    """Receiver-side accounting for one remote session (benches, tests)."""
+    """Receiver-side accounting for one remote session (benches, tests).
 
-    delivered: int = 0
-    duplicates: int = 0
-    buffered: int = 0
-    nacks_sent: int = 0
-    gaps_skipped: int = 0
-    messages_lost: int = 0
-    #: Envelopes shed because the reorder buffer was full (the
-    #: policy-driven bound; a shed buffered envelope may still be
-    #: NACK-repaired later, so this is pressure, not necessarily loss).
-    overflow_dropped: int = 0
+    A view over ``reliable.recv[<session>].<field>`` instruments in the
+    receiving daemon's :class:`~repro.core.metrics.MetricsRegistry`
+    (or a detached private registry for standalone receivers).  The
+    int-returning properties keep the historical dataclass read surface.
+    """
+
+    _FIELDS = ("delivered", "duplicates", "buffered", "nacks_sent",
+               "gaps_skipped", "messages_lost", "overflow_dropped")
+
+    __slots__ = tuple(f"_{name}" for name in _FIELDS)
+
+    def __init__(self, session: str = "",
+                 metrics: Optional[MetricsRegistry] = None):
+        if metrics is None:
+            metrics = MetricsRegistry()
+        scope = metrics.scope(f"reliable.recv[{session}]")
+        for name in self._FIELDS:
+            setattr(self, f"_{name}", scope.counter(name))
+
+    @property
+    def delivered(self) -> int:
+        return self._delivered.value
+
+    @property
+    def duplicates(self) -> int:
+        return self._duplicates.value
+
+    @property
+    def buffered(self) -> int:
+        return self._buffered.value
+
+    @property
+    def nacks_sent(self) -> int:
+        return self._nacks_sent.value
+
+    @property
+    def gaps_skipped(self) -> int:
+        return self._gaps_skipped.value
+
+    @property
+    def messages_lost(self) -> int:
+        return self._messages_lost.value
+
+    @property
+    def overflow_dropped(self) -> int:
+        """Envelopes shed because the reorder buffer was full (the
+        policy-driven bound; a shed buffered envelope may still be
+        NACK-repaired later, so this is pressure, not necessarily loss).
+        """
+        return self._overflow_dropped.value
 
 
 class _SessionState:
     __slots__ = ("session", "expected", "buffer", "nack_event",
                  "nack_attempts", "known_last", "sync_event", "stats")
 
-    def __init__(self, session: str) -> None:
+    def __init__(self, session: str,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.session = session
         self.expected: Optional[int] = None
         self.buffer: Dict[int, Tuple[Envelope, bool]] = {}
@@ -183,7 +235,7 @@ class _SessionState:
         self.known_last = 0
         #: pending end-of-sync-window event (first contact, seq > 1)
         self.sync_event: Optional[Event] = None
-        self.stats = SessionStats()
+        self.stats = SessionStats(session, metrics)
 
     def last_missing(self) -> int:
         """End of the first contiguous missing run (minimal NACK range)."""
@@ -207,12 +259,14 @@ class ReliableReceiver:
     def __init__(self, sim: Simulator, config: ReliableConfig,
                  deliver: Callable[[Envelope, bool], None],
                  send_nack: Callable[[str, int, int], None],
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.sim = sim
         self.config = config
         self._deliver = deliver
         self._send_nack = send_nack
         self._tracer = tracer
+        self._metrics = metrics
         self._sessions: Dict[str, _SessionState] = {}
         #: when this receiver came up; sessions born after this are fully
         #: recoverable from seq 1 (we must have been within earshot)
@@ -243,7 +297,7 @@ class ReliableReceiver:
                 # should have reached us — treat the hole as loss
                 state.expected = 1
                 state.buffer[seq] = (envelope, retransmitted)
-                state.stats.buffered += 1
+                state.stats._buffered.value += 1
                 self._arm_nack(envelope.session, state)
                 return
             else:
@@ -260,7 +314,7 @@ class ReliableReceiver:
             state.sync_event = None
             self._drain(state)
         if seq < state.expected:
-            state.stats.duplicates += 1
+            state.stats._duplicates.value += 1
             return
         if seq == state.expected:
             self._deliver_in_order(state, envelope, retransmitted)
@@ -269,13 +323,13 @@ class ReliableReceiver:
             return
         # gap: buffer and arrange repair
         if seq in state.buffer:
-            state.stats.duplicates += 1
+            state.stats._duplicates.value += 1
             return
         if len(state.buffer) >= self.config.receive_buffer:
             if not self._shed(state, envelope):
                 return   # the incoming envelope itself was shed
         state.buffer[seq] = (envelope, retransmitted)
-        state.stats.buffered += 1
+        state.stats._buffered.value += 1
         self._arm_nack(envelope.session, state)
 
     def _shed(self, state: _SessionState, incoming: Envelope) -> bool:
@@ -294,7 +348,7 @@ class ReliableReceiver:
             victim = max(state.buffer)
             if incoming.seq > victim:
                 victim = incoming.seq
-        state.stats.overflow_dropped += 1
+        state.stats._overflow_dropped.value += 1
         if self._tracer:
             self._tracer.emit(self.sim.now, "flow.drop",
                               queue="reliable.reorder",
@@ -393,14 +447,14 @@ class ReliableReceiver:
     def _state(self, session: str) -> _SessionState:
         state = self._sessions.get(session)
         if state is None:
-            state = _SessionState(session)
+            state = _SessionState(session, self._metrics)
             self._sessions[session] = state
         return state
 
     def _deliver_in_order(self, state: _SessionState, envelope: Envelope,
                           retransmitted: bool) -> None:
         state.expected = envelope.seq + 1
-        state.stats.delivered += 1
+        state.stats._delivered.value += 1
         self._deliver(envelope, retransmitted)
 
     def _drain(self, state: _SessionState) -> None:
@@ -444,20 +498,20 @@ class ReliableReceiver:
             self._give_up(state)
             return
         state.nack_attempts += 1
-        state.stats.nacks_sent += 1
+        state.stats._nacks_sent.value += 1
         self._send_nack(session, state.expected, state.last_missing())
         self._arm_nack(session, state)
 
     def _give_up(self, state: _SessionState) -> None:
         """Unrepairable gap: skip it (at-most-once under failure)."""
-        state.stats.gaps_skipped += 1
+        state.stats._gaps_skipped.value += 1
         if state.buffer:
             lowest = min(state.buffer)
-            state.stats.messages_lost += lowest - state.expected
+            state.stats._messages_lost.value += lowest - state.expected
             state.expected = lowest
         else:
             # a lost tail the (dead or amnesiac) sender cannot repair
-            state.stats.messages_lost += state.known_last - state.expected + 1
+            state.stats._messages_lost.value += state.known_last - state.expected + 1
             state.expected = state.known_last + 1
         state.nack_attempts = 0
         self._drain(state)

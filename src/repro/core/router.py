@@ -21,6 +21,7 @@ large bus".
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -30,9 +31,10 @@ from ..sim.kernel import PeriodicTimer, Simulator
 from ..sim.trace import Tracer
 from .bus import InformationBus
 from .client import BusClient, Subscription
-from .daemon import ADVERT_SUBJECT
+from .daemon import ADVERT_SUBJECT, STAT_SUBJECT_PREFIX
 from .flow import Admission, BoundedQueue, POLICY_BLOCK
 from .message import MessageInfo, QoS
+from .metrics import Counter, MetricsPublisher, MetricsRegistry
 from .subjects import subject_matches
 
 __all__ = ["Router", "RouterLeg", "WanLink"]
@@ -74,11 +76,29 @@ class WanLink:
         self._transferring: set = set()
         self._sim: Optional[Simulator] = None
         self._down = False
-        #: messages lost to a down link (plus any caught mid-transfer)
-        self.messages_dropped = 0
+        #: messages lost to a down link (plus any caught mid-transfer) —
+        #: a detached instrument until a router adopts it (attach_metrics)
+        self._messages_dropped = Counter("wan.messages_dropped")
+        self._metrics: Optional[MetricsRegistry] = None
         #: set by the router when it learns a bus's tracer, so queue
         #: sheds surface as ``flow.drop`` events
         self.tracer: Optional[Tracer] = None
+
+    @property
+    def messages_dropped(self) -> int:
+        return self._messages_dropped.value
+
+    def attach_metrics(self, registry) -> None:
+        """Adopt this link's instruments into ``registry`` (a
+        :class:`~repro.core.metrics.MetricsRegistry` or a scope view).
+
+        A :class:`WanLink` can be built standalone (before any router
+        exists), so its counter starts detached; the owning router
+        registers it — and future per-direction queues pick up the same
+        registry for their flow instruments (``flow.wan[a->b].*``).
+        """
+        registry.register("wan.messages_dropped", self._messages_dropped)
+        self._metrics = registry
 
     @property
     def down(self) -> bool:
@@ -92,7 +112,7 @@ class WanLink:
         for key, queue in self._queues.items():
             lost = queue.clear()
             if lost:
-                self.messages_dropped += lost
+                self._messages_dropped.value += lost
                 if self.tracer and self._sim is not None:
                     self.tracer.emit(self._sim.now, "flow.drop",
                                      queue=f"wan[{key[0]}->{key[1]}]",
@@ -111,7 +131,7 @@ class WanLink:
             queue = BoundedQueue(
                 f"wan[{key[0]}->{key[1]}]", self.queue_capacity,
                 self.overflow_policy, tracer=self.tracer,
-                now=lambda: sim.now)
+                now=lambda: sim.now, metrics=self._metrics)
             self._queues[key] = queue
         return queue
 
@@ -128,7 +148,7 @@ class WanLink:
         deferred back to the caller to retry.
         """
         if self._down:
-            self.messages_dropped += 1
+            self._messages_dropped.value += 1
             if self.tracer:
                 self.tracer.emit(sim.now, "flow.drop",
                                  queue=f"wan[{from_leg}->{to_leg}]",
@@ -161,7 +181,7 @@ class WanLink:
         self._transferring.discard(key)
         if self._down:
             # the link died mid-transfer: this message is on the floor
-            self.messages_dropped += 1
+            self._messages_dropped.value += 1
             if self.tracer:
                 self.tracer.emit(sim.now, "flow.drop",
                                  queue=f"wan[{key[0]}->{key[1]}]",
@@ -170,12 +190,22 @@ class WanLink:
             sim.schedule(self.latency, deliver, name="wan.deliver")
         self._pump(sim, key)
 
-    def stats(self) -> Dict[str, Any]:
-        """Per-direction flow stats plus the link-level drop counter."""
+    def link_stats(self) -> Dict[str, Any]:
+        """Per-direction flow stats plus the link-level drop counter.
+
+        (Renamed from the ambiguous ``stats()``, which collided with
+        :meth:`Router.leg_stats` in every discussion of "router stats".)
+        """
         out: Dict[str, Any] = {"messages_dropped": self.messages_dropped}
         for key, queue in self._queues.items():
             out[f"{key[0]}->{key[1]}"] = queue.stats.snapshot()
         return out
+
+    def stats(self) -> Dict[str, Any]:
+        """Deprecated alias for :meth:`link_stats`."""
+        warnings.warn("WanLink.stats() is deprecated; use link_stats()",
+                      DeprecationWarning, stacklevel=2)
+        return self.link_stats()
 
 
 class RouterLeg:
@@ -203,15 +233,39 @@ class RouterLeg:
         self._forwarding: Dict[str, Tuple[Subscription, Set[str]]] = {}
         # dedupe of forwarded messages (a message can match two patterns)
         self._recent: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
-        self.messages_forwarded = 0
-        self.messages_republished = 0
+        scope = router.metrics.scope(f"router.{router.name}.leg.{self.name}")
+        self._messages_forwarded = scope.counter("forwarded")
+        self._messages_republished = scope.counter("republished")
         #: forwards pushed back by a full WAN queue (block / no_shed)
-        self.forwards_deferred = 0
+        self._forwards_deferred = scope.counter("deferred")
         #: forwards shed by the WAN queue's drop policy or a down link
-        self.forwards_shed = 0
+        self._forwards_shed = scope.counter("shed")
         self._sf_timer = None
         self.host.on_recover(self._on_host_recover)
         self.client.subscribe(ADVERT_SUBJECT, self._on_advert)
+        if router.bridge_stats:
+            # bridge the telemetry plane too: snapshots published on one
+            # segment become visible to browsers on the other
+            self.client.subscribe(f"{STAT_SUBJECT_PREFIX}.>", self._on_stat)
+
+    # ------------------------------------------------------------------
+    # counter views (ints, the historical attribute surface)
+    # ------------------------------------------------------------------
+    @property
+    def messages_forwarded(self) -> int:
+        return self._messages_forwarded.value
+
+    @property
+    def messages_republished(self) -> int:
+        return self._messages_republished.value
+
+    @property
+    def forwards_deferred(self) -> int:
+        return self._forwards_deferred.value
+
+    @property
+    def forwards_shed(self) -> int:
+        return self._forwards_shed.value
 
     # ------------------------------------------------------------------
     # learning the local subscription table
@@ -307,12 +361,12 @@ class RouterLeg:
                              subject=subject, targets=sorted(targets),
                              size=len(data))
         for leg_name in targets:
-            self.messages_forwarded += 1
+            self._messages_forwarded.value += 1
             admission = self.router._ship(self, leg_name, data)
             if admission is Admission.DEFERRED:
-                self.forwards_deferred += 1
+                self._forwards_deferred.value += 1
             elif admission is Admission.DROPPED:
-                self.forwards_shed += 1
+                self._forwards_shed.value += 1
 
     # ------------------------------------------------------------------
     # store-and-forward (guaranteed QoS across the WAN)
@@ -339,7 +393,7 @@ class RouterLeg:
         pending = self.host.stable.get(self._SF_PENDING, {})
         pending[sf_id] = record
         self.host.stable.put(self._SF_PENDING, pending)
-        self.messages_forwarded += len(targets)
+        self._messages_forwarded.value += len(targets)
         self._sf_ship(record)
         self._sf_arm_timer()
 
@@ -364,7 +418,7 @@ class RouterLeg:
             obj = decode(record["wire"], self.router.registry)
             out_subject = (self.transform(record["subject"])
                            if self.transform else record["subject"])
-            self.messages_republished += 1
+            self._messages_republished.value += 1
             self.client.publish(
                 out_subject, obj, qos=QoS.GUARANTEED,
                 via=tuple(record["via"]) + (self.router.name,))
@@ -422,6 +476,30 @@ class RouterLeg:
         obj = decode(msg["payload"], self.router.registry)
         self.republish(msg["subject"], obj, tuple(msg["via"]))
 
+    # ------------------------------------------------------------------
+    # telemetry bridging (``bridge_stats=True``)
+    # ------------------------------------------------------------------
+    def _on_stat(self, subject: str, payload: Any, info: MessageInfo) -> None:
+        """A ``_bus.stat.*`` snapshot surfaced on this leg's segment."""
+        if self.router.name in info.via:
+            return   # already traversed this router: never loop telemetry
+        self.router._ship_stat(self, subject, payload, info.via)
+
+    def _stat_receive(self, data: bytes) -> None:
+        """Target side: re-broadcast a bridged snapshot on this segment.
+
+        Stat traffic stays outside the data plane end to end — it leaves
+        through the daemon's unsequenced stat path, not an ordinary
+        publish, so bridged telemetry is droppable and uncounted exactly
+        like locally produced telemetry.
+        """
+        if not self.client.daemon.up:
+            return
+        msg = decode(data, self.router.registry)
+        self.client.daemon.publish_stat_bytes(
+            msg["subject"], msg["payload"],
+            via=tuple(msg["via"]) + (self.router.name,))
+
     def _wants_receive(self, data: bytes) -> None:
         msg = decode(data, self.router.registry)
         self.remote_wants(msg["origin"], msg["action"], msg["patterns"])
@@ -442,7 +520,7 @@ class RouterLeg:
         if not self.client.daemon.up:
             return
         out_subject = self.transform(subject) if self.transform else subject
-        self.messages_republished += 1
+        self._messages_republished.value += 1
         if self.tracer:
             self.tracer.emit(self.bus.sim.now, "router.republish",
                              leg=self.name, subject=out_subject)
@@ -461,7 +539,9 @@ class Router:
     def __init__(self, name: str = "router",
                  link: Optional[WanLink] = None,
                  store_and_forward: bool = False,
-                 sf_retry_interval: float = 0.5):
+                 sf_retry_interval: float = 0.5,
+                 stat_interval: float = 0.0,
+                 bridge_stats: bool = False):
         self.name = name
         self.link = link or WanLink()
         #: with store-and-forward, guaranteed-QoS messages are stably
@@ -472,8 +552,18 @@ class Router:
         #: "logging messages to non-volatile storage" router function.
         self.store_and_forward = store_and_forward
         self.sf_retry_interval = sf_retry_interval
+        #: seconds between router-registry snapshots published on
+        #: ``_bus.stat.<router>.router`` (on every leg); 0 disables
+        self.stat_interval = stat_interval
+        #: forward ``_bus.stat.*`` snapshots between segments so a
+        #: browser on one bus aggregates the whole federation
+        self.bridge_stats = bridge_stats
         self.legs: Dict[str, RouterLeg] = {}
         self.registry = standard_registry()
+        #: per-leg forwarding counters and the WAN link's instruments
+        self.metrics = MetricsRegistry()
+        self.link.attach_metrics(self.metrics.scope(f"router.{self.name}"))
+        self._stat_publisher: Optional[MetricsPublisher] = None
         self._sim: Optional[Simulator] = None
 
     def add_leg(self, bus: InformationBus, host_address: Optional[str] = None,
@@ -488,6 +578,10 @@ class Router:
         address = host_address or f"{self.name}-{bus.name}"
         leg = RouterLeg(self, bus, address, transform, log_traffic)
         self.legs[leg.name] = leg
+        if self.stat_interval > 0 and self._stat_publisher is None:
+            self._stat_publisher = MetricsPublisher(
+                self._sim, self.metrics, self._publish_stats,
+                self.stat_interval, name="router.stat")
         return leg
 
     # ------------------------------------------------------------------
@@ -535,16 +629,51 @@ class Router:
                        lambda: target._sf_acked(origin.name, sf_id),
                        no_shed=True)
 
-    def stats(self) -> Dict[str, Dict[str, int]]:
+    def _publish_stats(self, snapshot: Dict[str, Any]) -> None:
+        """Publish the router's registry on every leg's segment.
+
+        Stamped ``via=(self.name,)`` so stat-bridging legs recognize it
+        as already-traversed and never re-ship it over the WAN (every
+        leg got it directly — bridging would only duplicate).
+        """
+        payload = encode({"host": self.name, "time": self._sim.now,
+                          "interval": self.stat_interval,
+                          "metrics": snapshot})
+        subject = f"{STAT_SUBJECT_PREFIX}.{self.name}.router"
+        for leg in self.legs.values():
+            leg.client.daemon.publish_stat_bytes(subject, payload,
+                                                 via=(self.name,))
+
+    def _ship_stat(self, origin: RouterLeg, subject: str, payload: Any,
+                   via: tuple) -> None:
+        """Bridge one snapshot to every other leg, droppable like any
+        telemetry: a congested WAN sheds stats, never data."""
+        data = encode({"subject": subject, "payload": encode(payload),
+                       "via": list(via)})
+        for leg in self.legs.values():
+            if leg is origin:
+                continue
+            self.link.send(self._sim, origin.name, leg.name, len(data),
+                           lambda leg=leg: leg._stat_receive(data))
+
+    def leg_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-leg forwarding counters (renamed from the ambiguous
+        ``stats()``, which collided with :meth:`WanLink.link_stats`)."""
         return {name: {"forwarded": leg.messages_forwarded,
                        "republished": leg.messages_republished,
                        "deferred": leg.forwards_deferred,
                        "shed": leg.forwards_shed}
                 for name, leg in self.legs.items()}
 
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Deprecated alias for :meth:`leg_stats`."""
+        warnings.warn("Router.stats() is deprecated; use leg_stats()",
+                      DeprecationWarning, stacklevel=2)
+        return self.leg_stats()
+
     def flow_stats(self) -> Dict[str, Any]:
         """The WAN link's per-direction flow-control queue stats."""
-        return self.link.stats()
+        return self.link.link_stats()
 
     def wire_stats(self) -> Dict[str, Dict[str, Any]]:
         """Per-leg wire-compression state of each leg's egress daemon

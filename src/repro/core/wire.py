@@ -94,10 +94,12 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from ..sim.framing import (CorruptFrame, Cursor, frame, unframe_view,
                            write_bytes, write_f64, write_str, write_varint)
 from .message import Envelope, Packet, PacketKind, QoS
+from .metrics import MetricsRegistry
 
 __all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY", "StringTable",
            "UnresolvedStringId", "configure_decode_memo",
            "decode_memo_stats", "decode_packet", "encode_envelope",
+           "wire_metrics",
            "encode_envelope_compressed", "encode_packet",
            "envelope_wire_size", "packet_wire_size"]
 
@@ -362,26 +364,45 @@ DEFAULT_DECODE_MEMO_CAPACITY = 256
 _MemoEntry = Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]]]
 _decode_memo: "OrderedDict[bytes, _MemoEntry]" = OrderedDict()
 _decode_memo_capacity = DEFAULT_DECODE_MEMO_CAPACITY
-_decode_memo_hits = 0
-_decode_memo_misses = 0
+
+# The memo is process-global (deliberately: the N receivers of one
+# broadcast share a single parse), so its counters live in a module-
+# level registry rather than any one daemon's — and are therefore NOT
+# part of per-daemon ``_bus.stat.*`` snapshots, where self-referential
+# stat frames hitting the shared memo would make publishing perturb the
+# very counters being published.
+_wire_metrics = MetricsRegistry()
+_decode_memo_hits = _wire_metrics.counter("wire.decode_memo.hits")
+_decode_memo_misses = _wire_metrics.counter("wire.decode_memo.misses")
+_wire_metrics.gauge("wire.decode_memo.capacity",
+                    source=lambda: _decode_memo_capacity)
+_wire_metrics.gauge("wire.decode_memo.size",
+                    source=lambda: len(_decode_memo))
+
+
+def wire_metrics() -> MetricsRegistry:
+    """The module-level registry holding the decode-memo instruments."""
+    return _wire_metrics
 
 
 def configure_decode_memo(capacity: int = DEFAULT_DECODE_MEMO_CAPACITY
                           ) -> None:
     """Resize the decode memo (0 disables it); clears entries and stats."""
-    global _decode_memo_capacity, _decode_memo_hits, _decode_memo_misses
+    global _decode_memo_capacity
     if capacity < 0:
         raise ValueError(f"capacity must be >= 0 (got {capacity})")
     _decode_memo_capacity = capacity
     _decode_memo.clear()
-    _decode_memo_hits = 0
-    _decode_memo_misses = 0
+    _decode_memo_hits.reset()
+    _decode_memo_misses.reset()
 
 
 def decode_memo_stats() -> Dict[str, int]:
-    """Hit/miss/size counters for benches and cache-honesty tests."""
+    """Hit/miss/size counters for benches and cache-honesty tests (a
+    dict view over the :func:`wire_metrics` registry instruments)."""
     return {"capacity": _decode_memo_capacity, "size": len(_decode_memo),
-            "hits": _decode_memo_hits, "misses": _decode_memo_misses}
+            "hits": _decode_memo_hits.value,
+            "misses": _decode_memo_misses.value}
 
 
 def decode_packet(data: bytes,
@@ -404,7 +425,6 @@ def decode_packet(data: bytes,
     table effects per receiver, keeping per-receiver outcomes identical
     to a fresh parse.
     """
-    global _decode_memo_hits, _decode_memo_misses
     key = None
     if _decode_memo_capacity:
         key = bytes(data)
@@ -413,7 +433,7 @@ def decode_packet(data: bytes,
             packet, needs, defines = entry
             if needs is None:                       # plain frame
                 _decode_memo.move_to_end(key)
-                _decode_memo_hits += 1
+                _decode_memo_hits.value += 1
                 return packet
             table = (tables.setdefault(packet.session, {})
                      if tables is not None else {})
@@ -430,7 +450,7 @@ def decode_packet(data: bytes,
                     break                           # this parse isn't ours
             if not mismatch:
                 _decode_memo.move_to_end(key)
-                _decode_memo_hits += 1
+                _decode_memo_hits.value += 1
                 if unresolved:
                     seqs = [e.seq for e in packet.envelopes]
                     raise UnresolvedStringId(
@@ -440,7 +460,7 @@ def decode_packet(data: bytes,
             key = None                              # bypass, parse fresh
     packet, needs, defines = _decode_packet_body(data, tables)
     if key is not None:
-        _decode_memo_misses += 1
+        _decode_memo_misses.value += 1
         _decode_memo[key] = (packet, needs, defines)
         while len(_decode_memo) > _decode_memo_capacity:
             _decode_memo.popitem(last=False)

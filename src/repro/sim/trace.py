@@ -29,10 +29,16 @@ identical (a property the flow-control tests assert).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
-__all__ = ["NULL_TRACER", "TraceRecord", "Tracer"]
+__all__ = ["DEFAULT_MAX_RECORDS", "NULL_TRACER", "TraceRecord", "Tracer"]
+
+#: Default ring-buffer capacity for :attr:`Tracer.records`.  Long sims
+#: with tracing left on used to grow memory without bound; past the cap
+#: the oldest records are discarded and counted in ``dropped_records``.
+DEFAULT_MAX_RECORDS = 100_000
 
 
 @dataclass
@@ -52,10 +58,16 @@ class Tracer:
     """Collects :class:`TraceRecord` objects, optionally filtered."""
 
     def __init__(self, enabled: bool = False,
-                 categories: Optional[List[str]] = None):
+                 categories: Optional[List[str]] = None,
+                 max_records: Optional[int] = DEFAULT_MAX_RECORDS):
         self.enabled = enabled
         self._categories = set(categories) if categories else None
-        self.records: List[TraceRecord] = []
+        #: a bounded ring: at ``max_records`` the oldest record falls off
+        #: (and is tallied below).  ``max_records=None`` is unbounded —
+        #: the historical behavior, for tests that replay everything.
+        self.records: Deque[TraceRecord] = deque(maxlen=max_records)
+        #: records discarded off the front of the full ring
+        self.dropped_records = 0
         self._listeners: List[Callable[[TraceRecord], None]] = []
 
     def __bool__(self) -> bool:
@@ -68,7 +80,10 @@ class Tracer:
         if self._categories is not None and category not in self._categories:
             return
         record = TraceRecord(time, category, fields)
-        self.records.append(record)
+        ring = self.records
+        if ring.maxlen is not None and len(ring) == ring.maxlen:
+            self.dropped_records += 1
+        ring.append(record)
         for listener in self._listeners:
             listener(record)
 
@@ -100,6 +115,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.records.clear()
+        self.dropped_records = 0
 
 
 #: Shared always-disabled tracer.  Do not enable it: every component that

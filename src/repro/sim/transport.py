@@ -26,6 +26,7 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 
 from .framing import (CorruptFrame, Cursor, frame, unframe_view,
                       write_bytes, write_varint)
+from ..core.metrics import MetricsRegistry
 from .kernel import Event, Simulator
 from .network import BROADCAST, Address, Frame
 from .node import Host
@@ -64,16 +65,31 @@ class DatagramSocket:
     """
 
     def __init__(self, sim: Simulator, host: Host, port: int,
-                 on_datagram: Callable[[bytes, int, Endpoint], None]):
+                 on_datagram: Callable[[bytes, int, Endpoint], None],
+                 metrics=None, metrics_name: str = ""):
         self.sim = sim
         self.host = host
         self.port = port
         self.on_datagram = on_datagram
         self._reassembly: Dict[Tuple[Address, int], Dict[int, bytes]] = {}
         self._reassembly_deadline: Dict[Tuple[Address, int], float] = {}
-        self.datagrams_sent = 0
-        self.datagrams_received = 0
+        # counters live in the owner's MetricsRegistry when one is
+        # handed in (`metrics_name` scopes them); otherwise in a private
+        # detached registry so the int properties always work
+        if metrics is None:
+            metrics = MetricsRegistry()
+        scope = metrics.scope(metrics_name) if metrics_name else metrics
+        self._datagrams_sent = scope.counter("datagrams_sent")
+        self._datagrams_received = scope.counter("datagrams_received")
         host.bind(port, self._on_frame)
+
+    @property
+    def datagrams_sent(self) -> int:
+        return self._datagrams_sent.value
+
+    @property
+    def datagrams_received(self) -> int:
+        return self._datagrams_received.value
 
     def close(self) -> None:
         self.host.unbind(self.port)
@@ -92,7 +108,7 @@ class DatagramSocket:
                           _Fragment(next(_datagram_ids), 0, 1, data, size),
                           size)
             self.host.send_frame(frame)
-            self.datagrams_sent += 1
+            self._datagrams_sent.value += 1
             return
         datagram_id = next(_datagram_ids)
         count = (size + mtu - 1) // mtu
@@ -102,7 +118,7 @@ class DatagramSocket:
             frame = Frame(self.host.address, dst, self.port, dst_port,
                           frag, len(chunk) + FRAGMENT_HEADER)
             self.host.send_frame(frame)
-        self.datagrams_sent += 1
+        self._datagrams_sent.value += 1
 
     def broadcast(self, data: bytes, dst_port: int) -> None:
         self.sendto(data, BROADCAST, dst_port)
@@ -112,7 +128,7 @@ class DatagramSocket:
         frag: _Fragment = frame.payload
         src = (frame.src, frame.src_port)
         if frag.count == 1:
-            self.datagrams_received += 1
+            self._datagrams_received.value += 1
             self.on_datagram(frag.payload, len(frag.payload), src)
             return
         key = (frame.src, frag.datagram_id)
@@ -123,7 +139,7 @@ class DatagramSocket:
             del self._reassembly[key]
             del self._reassembly_deadline[key]
             data = b"".join(chunks[i] for i in range(frag.count))
-            self.datagrams_received += 1
+            self._datagrams_received.value += 1
             self.on_datagram(data, len(data), src)
         elif len(self._reassembly) > 256:
             self._purge_stale()

@@ -1,0 +1,98 @@
+"""The browser as a telemetry console: ``_bus.stat.*`` consumption.
+
+Satellite coverage for the telemetry plane: a late-joining browser sees
+current gauges on the next snapshot, sources whose publisher goes away
+age out of :meth:`telemetry`, and with router stat-bridging a browser on
+one segment aggregates both segments through :meth:`bus_top`.
+"""
+
+from repro.apps import BusBrowser
+from repro.core import BusConfig, InformationBus, Router
+from repro.sim import CostModel, Simulator
+
+
+def stat_config(interval=0.1):
+    return BusConfig(stat_interval=interval, advert_interval=0.5)
+
+
+def test_late_joining_browser_sees_current_gauges():
+    bus = InformationBus(seed=2, cost=CostModel.ideal(),
+                         config=stat_config())
+    bus.add_hosts(2)
+    pub = bus.client("node00", "pub")
+    sub = bus.client("node01", "sub")
+    sub.subscribe("feed.>", lambda *a: None)
+    for n in range(25):
+        pub.publish("feed.x", {"n": n})
+    bus.run_for(1.0)
+    # the browser attaches long after the traffic happened...
+    browser = BusBrowser(bus.client("node01", "browser"))
+    assert browser.telemetry() == []
+    bus.run_for(0.5)
+    # ...and the very next snapshots carry the daemons' current state
+    sources = {t.source for t in browser.telemetry()}
+    assert sources == {"node00.daemon", "node01.daemon"}
+    node00 = browser.stats["node00.daemon"].metrics
+    assert node00["daemon.node00.published"]["value"] == 25
+    assert node00["daemon.node00.clients"]["value"] == 1
+    top = browser.bus_top()
+    assert top["hosts"] == 2
+    # >= : node01's subscription adverts are published messages too
+    assert top["published"] >= 25
+    assert top["delivered"] >= 25
+    assert "telemetry" in browser.report()
+
+
+def test_sources_age_out_when_their_publisher_dies():
+    bus = InformationBus(seed=4, cost=CostModel.ideal(),
+                         config=stat_config(interval=0.1))
+    bus.add_hosts(2)
+    browser = BusBrowser(bus.client("node01", "browser"))
+    bus.run_for(1.0)
+    assert {t.source for t in browser.telemetry()} == {
+        "node00.daemon", "node01.daemon"}
+    bus.crash_host("node00")
+    # within ~3 publisher periods the dead source goes stale
+    bus.run_for(1.0)
+    assert {t.source for t in browser.telemetry()} == {"node01.daemon"}
+    # the stale entry is retained (history), just no longer "live"
+    assert "node00.daemon" in browser.stats
+    bus.recover_host("node00")
+    bus.run_for(1.0)
+    assert {t.source for t in browser.telemetry()} == {
+        "node00.daemon", "node01.daemon"}
+
+
+def test_browser_aggregates_router_bridged_segments():
+    sim = Simulator(seed=6)
+    east = InformationBus(cost=CostModel.ideal(), name="east", sim=sim,
+                          config=stat_config())
+    west = InformationBus(cost=CostModel.ideal(), name="west", sim=sim,
+                          config=stat_config())
+    east.add_hosts(2, prefix="e")
+    west.add_hosts(2, prefix="w")
+    router = Router(bridge_stats=True, stat_interval=0.25)
+    router.add_leg(east)
+    router.add_leg(west)
+    # data traffic on the east segment only
+    pub = east.client("e00", "pub")
+    east.client("e01", "sub").subscribe("feed.>", lambda *a: None)
+    # the browser watches from the WEST segment
+    browser = BusBrowser(west.client("w01", "browser"))
+    sim.run_until(1.0)
+    for n in range(10):
+        pub.publish("feed.x", {"n": n})
+    sim.run_until(4.0)
+    sources = {t.source for t in browser.telemetry()}
+    # local daemons, bridged east daemons, and the router itself
+    for expected in ("w00.daemon", "w01.daemon", "e00.daemon",
+                     "e01.daemon", f"{router.name}.router"):
+        assert expected in sources, sources
+    top = browser.bus_top()
+    assert top["hosts"] >= 5
+    assert top["published"] >= 10        # east's traffic, seen from west
+    east_pub = browser.stats["e00.daemon"].metrics
+    assert east_pub["daemon.e00.published"]["value"] >= 10
+    # the router's own registry crossed too (leg forwarding counters)
+    router_metrics = browser.stats[f"{router.name}.router"].metrics
+    assert any(name.endswith(".forwarded") for name in router_metrics)

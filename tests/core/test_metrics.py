@@ -1,0 +1,154 @@
+"""Unit tests for the unified metrics registry."""
+
+import pytest
+
+from repro.core.metrics import (Counter, DEFAULT_BUCKETS, Gauge, Histogram,
+                                MetricsPublisher, MetricsRegistry,
+                                sum_counters)
+from repro.sim import Simulator
+
+
+def test_counter_hot_path_and_snapshot():
+    c = Counter("x")
+    c.value += 1
+    c.inc(4)
+    assert c.value == 5
+    assert c.snapshot() == {"type": "counter", "value": 5}
+    c.reset()
+    assert c.value == 0
+
+
+def test_gauge_direct_and_lazy_source():
+    g = Gauge("depth")
+    g.set(7)
+    assert g.read() == 7
+    backing = {"n": 3}
+    lazy = Gauge("size", source=lambda: backing["n"])
+    assert lazy.read() == 3
+    backing["n"] = 9
+    assert lazy.snapshot() == {"type": "gauge", "value": 9}
+
+
+def test_histogram_buckets_count_and_sum():
+    h = Histogram("lat", bounds=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.005, 0.05, 5.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["counts"] == [1, 2, 1, 1]    # last bucket = overflow
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(5.0605)
+    assert snap["bounds"] == [0.001, 0.01, 0.1]
+
+
+def test_histogram_bounds_must_ascend():
+    with pytest.raises(ValueError):
+        Histogram("bad", bounds=(0.1, 0.01))
+
+
+def test_registry_get_or_create_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("daemon.n0.published")
+    b = reg.counter("daemon.n0.published")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_registry_type_conflict_is_an_error():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+def test_scope_prefixes_names():
+    reg = MetricsRegistry()
+    scope = reg.scope("daemon.n0")
+    c = scope.counter("published")
+    assert c.name == "daemon.n0.published"
+    nested = scope.scope("wire")
+    assert nested.counter("drops").name == "daemon.n0.wire.drops"
+    assert set(reg.names()) == {"daemon.n0.published", "daemon.n0.wire.drops"}
+
+
+def test_register_adopts_detached_instruments():
+    reg = MetricsRegistry()
+    detached = Counter()
+    detached.value = 3
+    reg.register("wan.drops", detached)
+    assert reg.get("wan.drops") is detached
+    # re-registering the same object is a no-op
+    reg.register("wan.drops", detached)
+    # a different object under a taken name is a collision
+    with pytest.raises(ValueError):
+        reg.register("wan.drops", Counter())
+
+
+def test_drop_prefix_forgets_volatile_families():
+    reg = MetricsRegistry()
+    reg.counter("reliable.recv[a#0].delivered")
+    reg.counter("reliable.recv[b#0].delivered")
+    keeper = reg.counter("daemon.n0.published")
+    assert reg.drop_prefix("reliable.") == 2
+    assert reg.names() == ["daemon.n0.published"]
+    # recreating after a drop yields a fresh zeroed instrument
+    fresh = reg.counter("reliable.recv[a#0].delivered")
+    assert fresh.value == 0
+    assert reg.get("daemon.n0.published") is keeper
+
+
+def test_snapshot_renders_every_instrument():
+    reg = MetricsRegistry()
+    reg.counter("c").value += 2
+    reg.gauge("g").set(1.5)
+    reg.histogram("h").observe(0.5)
+    snap = reg.snapshot()
+    assert snap["c"] == {"type": "counter", "value": 2}
+    assert snap["g"]["type"] == "gauge"
+    assert snap["h"]["type"] == "histogram"
+
+
+def test_stub_registry_shares_noop_instruments():
+    reg = MetricsRegistry(stub=True)
+    a = reg.counter("a")
+    b = reg.counter("b")
+    assert a is b                 # one shared throwaway
+    a.value += 5                  # increments still execute
+    g = reg.gauge("g", source=lambda: 1)
+    assert g is reg.gauge("other")
+    assert reg.histogram("h", bounds=DEFAULT_BUCKETS) is reg.histogram("i")
+    assert reg.snapshot() == {}   # nothing registered, nothing rendered
+    assert len(reg) == 0
+
+
+def test_publisher_fires_on_interval_and_stops():
+    sim = Simulator(seed=1)
+    reg = MetricsRegistry()
+    reg.counter("ticks")
+    seen = []
+    pub = MetricsPublisher(sim, reg, seen.append, interval=0.5)
+    sim.run_until(1.8)
+    assert pub.snapshots_published == 3
+    assert len(seen) == 3
+    assert "ticks" in seen[0]
+    pub.stop()
+    sim.run_until(5.0)
+    assert pub.snapshots_published == 3
+    assert pub.stopped
+
+
+def test_publisher_rejects_nonpositive_interval():
+    sim = Simulator(seed=1)
+    with pytest.raises(ValueError):
+        MetricsPublisher(sim, MetricsRegistry(), lambda s: None, interval=0)
+
+
+def test_sum_counters_matches_suffixes_only():
+    snap = {
+        "daemon.a.published": {"type": "counter", "value": 3},
+        "daemon.b.published": {"type": "counter", "value": 4},
+        "daemon.a.depth": {"type": "gauge", "value": 99},
+        "daemon.a.delivered": {"type": "counter", "value": 7},
+    }
+    assert sum_counters(snap, [".published"]) == 7
+    assert sum_counters(snap, [".published", ".delivered"]) == 14
+    assert sum_counters(snap, [".depth"]) == 0   # gauges never counted

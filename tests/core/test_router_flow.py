@@ -55,7 +55,7 @@ def test_down_link_drops_are_counted_and_traced():
     assert len(drops) >= 4
     assert drops[0]["queue"].startswith("wan[")
     # the leg noticed its forwards were shed
-    stats = router.stats()
+    stats = router.leg_stats()
     assert any(s["shed"] >= 4 for s in stats.values())
 
 
@@ -74,7 +74,7 @@ def test_saturated_link_queues_within_bounds_then_sheds():
     for i in range(6):
         pub.publish(f"news.n{i}", DataObject(reg, "story", headline="X"))
     sim.run_until(20.0)
-    stats = router.stats()
+    stats = router.leg_stats()
     shed = sum(s["shed"] for s in stats.values())
     assert shed > 0
     assert 0 < len(received) < 6
@@ -103,6 +103,19 @@ def test_link_send_returns_admission():
                      no_shed=True) is Admission.DEFERRED
     sim.run()
     assert delivered == [1, 2]
-    stats = link.stats()
+    stats = link.link_stats()
     assert stats["a->b"]["dropped_newest"] == 1
     assert stats["a->b"]["deferred"] == 1
+
+
+def test_deprecated_stats_aliases_warn_and_match():
+    import warnings
+
+    sim, east, west, router = two_buses()
+    sim.run_until(1.0)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert router.stats() == router.leg_stats()
+        assert router.link.stats() == router.link.link_stats()
+    kinds = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(kinds) == 2

@@ -6,7 +6,7 @@ from repro.sim import Tracer
 def test_disabled_tracer_records_nothing():
     tracer = Tracer(enabled=False)
     tracer.emit(1.0, "send", subject="a.b")
-    assert tracer.records == []
+    assert list(tracer.records) == []
 
 
 def test_emit_and_select():
@@ -37,4 +37,26 @@ def test_listener_and_clear():
     assert seen[0].get("k") == 1
     assert seen[0]["k"] == 1
     tracer.clear()
-    assert tracer.records == []
+    assert list(tracer.records) == []
+
+
+def test_ring_buffer_caps_records_and_counts_drops():
+    tracer = Tracer(enabled=True, max_records=5)
+    for i in range(8):
+        tracer.emit(float(i), "tick", n=i)
+    assert len(tracer.records) == 5
+    assert tracer.dropped_records == 3
+    # the oldest fell off the front; query helpers still work
+    assert [r["n"] for r in tracer.select("tick")] == [3, 4, 5, 6, 7]
+    assert tracer.count("tick") == 5
+    tracer.clear()
+    assert len(tracer.records) == 0
+    assert tracer.dropped_records == 0
+
+
+def test_unbounded_tracer_opt_in():
+    tracer = Tracer(enabled=True, max_records=None)
+    for i in range(10):
+        tracer.emit(float(i), "tick")
+    assert len(tracer.records) == 10
+    assert tracer.dropped_records == 0

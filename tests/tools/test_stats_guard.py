@@ -1,0 +1,38 @@
+"""The stats-surface lint guard stays green and actually bites."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+GUARD = ROOT / "tools" / "check_stats_surfaces.py"
+
+
+def run_guard():
+    return subprocess.run([sys.executable, str(GUARD)],
+                          capture_output=True, text=True, cwd=ROOT)
+
+
+def test_guard_passes_on_the_current_tree():
+    proc = run_guard()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "none new" in proc.stdout
+    # the frozen allowlist has no stale entries either
+    assert "no longer exists" not in proc.stdout
+
+
+def test_guard_flags_a_new_stats_surface(tmp_path):
+    """Drop a new ``*_stats`` def into a scanned module and the guard
+    must fail, naming it."""
+    victim = ROOT / "src" / "repro" / "core" / "subjects.py"
+    original = victim.read_text()
+    try:
+        victim.write_text(original + (
+            "\n\ndef sneaky_stats():\n    return {}\n"))
+        proc = run_guard()
+        assert proc.returncode == 1
+        assert "sneaky_stats" in proc.stdout
+        assert "MetricsRegistry" in proc.stdout
+    finally:
+        victim.write_text(original)
+    assert run_guard().returncode == 0
