@@ -5,9 +5,10 @@ from .subjects import (BadSubjectError, SubjectTrie, is_admin_subject,
                        is_valid_pattern, is_valid_subject, split_subject,
                        subject_matches, validate_pattern, validate_subject)
 from .message import Envelope, MessageInfo, Packet, PacketKind, QoS
-from .wire import (CorruptFrame, StringTable, UnresolvedStringId,
+from .wire import (CorruptFrame, EnvelopeView, FrameDigest, StringTable,
+                   UnresolvedStringId,
                    decode_packet, encode_envelope, encode_packet,
-                   envelope_wire_size, packet_wire_size)
+                   envelope_wire_size, packet_wire_size, read_digest)
 from .flow import (Admission, BoundedBuffer, BoundedQueue, FlowConfig,
                    FlowStats, OVERFLOW_POLICIES, POLICY_BLOCK,
                    POLICY_DROP_NEWEST, POLICY_DROP_OLDEST, PublishReceipt)
@@ -32,7 +33,8 @@ __all__ = [
     "ADVERT_SUBJECT", "Admission", "BadSubjectError", "BatchConfig",
     "Batcher", "BoundedBuffer", "BoundedQueue",
     "BusClient", "BusConfig", "BusDaemon", "BusDownError", "CorruptFrame",
-    "Counter", "DAEMON_PORT", "DiscoveredService", "Envelope", "Gauge",
+    "Counter", "DAEMON_PORT", "DiscoveredService", "Envelope",
+    "EnvelopeView", "FrameDigest", "read_digest", "Gauge",
     "Histogram", "MetricsPublisher", "MetricsRegistry", "MetricsScope",
     "STAT_PORT", "STAT_SUBJECT_PREFIX", "sum_counters",
     "FlowConfig", "FlowStats", "OVERFLOW_POLICIES", "POLICY_BLOCK",

@@ -94,8 +94,12 @@ class Batcher:
         if not self.queue:
             return
         batch = self.queue.drain(self.config.max_messages)
-        self._queued_bytes = (sum(e.size for e in self.queue.items())
-                              if self.queue else 0)
+        # running counter: subtract what left rather than re-summing the
+        # remaining queue (that re-walk was O(backlog) per flush).  The
+        # queue never sheds, so drains and :meth:`shutdown` are the only
+        # exits and the counter cannot drift.
+        for envelope in batch:
+            self._queued_bytes -= envelope.size
         self.batches_flushed += 1
         self.messages_batched += len(batch)
         self._flush_cb(batch)

@@ -17,6 +17,12 @@ legs over the WAN; a leg subscribes locally to exactly the patterns the
 *other* sides want, and forwards matching traffic across the
 :class:`WanLink` to be re-published — creating "the illusion of a single,
 large bus".
+
+Because a leg is an ordinary client, its forwarding patterns live in its
+host daemon's subscription trie — so the interest gate (the "Receive
+path" in docs/PROTOCOLS.md) consults the forwarding table for free:
+frames carrying only subjects no local application *and no remote bus*
+wants are skipped from their digests without decoding a body.
 """
 
 from __future__ import annotations

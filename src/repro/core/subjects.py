@@ -165,8 +165,21 @@ class SubjectTrie(Generic[T]):
         #: concrete subject -> frozen match result, valid only while
         #: ``_memo_generation`` equals ``_generation``
         self._memo: Dict[str, FrozenSet[T]] = {}
+        #: concrete subject -> bool, the :meth:`matches_anything` memo.
+        #: Separate from ``_memo`` because the interest gate asks about
+        #: subjects this daemon will *never* ``match()`` (that is the
+        #: point), so the full-result memo stays cold for them.  Guarded
+        #: by the same generation stamp.
+        self._bool_memo: Dict[str, bool] = {}
         self._generation = 0
         self._memo_generation = 0
+
+    def _fresh_memos(self) -> None:
+        """Discard both memos after a subscription change (lazily, on
+        the next lookup that notices the generation moved)."""
+        self._memo.clear()
+        self._bool_memo.clear()
+        self._memo_generation = self._generation
 
     def insert(self, pattern: str, value: T) -> None:
         """Register ``value`` under ``pattern``.  Duplicate inserts are no-ops."""
@@ -245,8 +258,7 @@ class SubjectTrie(Generic[T]):
         memo = self._memo
         if self._memo_capacity:
             if self._memo_generation != self._generation:
-                memo.clear()
-                self._memo_generation = self._generation
+                self._fresh_memos()
             hit = memo.get(subject)
             if hit is not None:
                 return hit
@@ -286,14 +298,30 @@ class SubjectTrie(Generic[T]):
 
         Short-circuits on the first registration found instead of
         materializing the full match set (routers call this once per
-        envelope heard on a bus).
+        envelope heard on a bus, and the interest gate once per digest
+        subject).  Results are memoized alongside the full-match memo —
+        steady-state disinterest is one dict hit — and invalidated by
+        the same generation stamp, so a mid-stream subscribe is visible
+        on the very next frame.
         """
-        if self._memo_capacity and self._memo_generation == self._generation:
+        if self._memo_capacity:
+            if self._memo_generation != self._generation:
+                self._fresh_memos()
             hit = self._memo.get(subject)
             if hit is not None:
                 return bool(hit)
+            bool_hit = self._bool_memo.get(subject)
+            if bool_hit is not None:
+                return bool_hit
         elements = validate_subject(subject)
-        admin = elements[0].startswith("_")
+        result = self._walk_any(elements, elements[0].startswith("_"))
+        if self._memo_capacity:
+            if len(self._bool_memo) >= self._memo_capacity:
+                self._bool_memo.clear()   # epoch eviction, like _memo
+            self._bool_memo[subject] = result
+        return result
+
+    def _walk_any(self, elements: List[str], admin: bool) -> bool:
         depth = len(elements)
         stack = [(self._root, 0)]
         while stack:

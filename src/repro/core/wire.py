@@ -62,12 +62,40 @@ Failures are never cached.  :func:`configure_decode_memo` resizes or
 disables the memo (the escape hatch the perf harness uses to prove
 behaviour is unchanged).
 
+Subject digests and the interest gate
+-------------------------------------
+
+On a broadcast bus most daemons are uninterested in most frames, yet
+every daemon hears every DATA frame.  So DATA and RETRANS frames lead
+with a **subject digest**: one tiny entry per envelope — subject,
+``(session, seq)``, and a guaranteed-delivery marker — placed *before*
+the envelope bodies.  :func:`read_digest` parses just the frame header,
+the defs section, and the digest in O(header) time, letting a receiving
+daemon ask "does anything here match my subscriptions?" without ever
+materializing the bodies.  When nothing matches, the daemon advances
+its reliable session window straight from the digest's seq spans
+(:meth:`repro.core.reliable.ReliableReceiver.try_skip`) and drops the
+frame unparsed — O(header) instead of O(frame) per uninteresting frame.
+Crucially a skipped frame still replays the table definitions it
+carries (the defs section precedes the digest), so skipping never
+starves the receiver's string table.  Digest reads share the decode
+memo's design: a per-frame-bytes LRU whose entries replay ``defines``
+and validate ``needs`` per receiver.
+
+Envelope bodies decode to :class:`EnvelopeView`\\ s: header fields are
+parsed eagerly (they drive matching and ordering) but the payload stays
+a zero-copy slice of the frame buffer and is copied out at most once,
+on first access — delivery, retention, and router re-encode hydrate;
+an envelope nobody reads never pays the copy.
+
 Frame body layout (all integers varint unless noted)::
 
     packet     := kind:u8 flags:u8 session:str session_start:f64
                   last_seq [first last] [ack_ledger_id:str]
-                  [ack_consumer:str] [defs] count envelope*
+                  [ack_consumer:str] [defs] [digest] count envelope*
     defs       := def_count (id string:str)*          # iff flags COMPRESSED
+    digest     := entry_count entry*                  # iff flags DIGEST
+    entry      := dflags:u8 subject seq [env_session]
     envelope   := flags:u8 subject:str sender:str session:str seq qos:u8
                   publish_time:f64 envelope_id [ledger_id:str]
                   via_count via:str* payload:bytes
@@ -76,7 +104,17 @@ Frame body layout (all integers varint unless noted)::
                   via_count via_id* payload:bytes     # iff flags COMPRESSED
 
 ``flags`` marks which optional fields follow (packet bit ``0x08`` =
-COMPRESSED).  Strings are UTF-8 with a varint length prefix; ``f64`` is
+COMPRESSED, ``0x10`` = DIGEST, set on every DATA/RETRANS frame).
+Digest ``subject``/``env_session`` are table ids iff the frame is
+COMPRESSED, else inline strings; ``env_session`` appears only when
+``dflags`` bit ``0x02`` is set (the envelope's session differs from the
+packet session).  ``dflags`` bit ``0x01`` marks a guaranteed (ledgered)
+envelope — those always take the full decode path.  ``entry_count``
+must equal the body ``count``; a digest lists exactly the envelopes
+behind it, and the encoder derives it from the same envelope objects,
+so a CRC-valid frame's digest can only disagree with its bodies if the
+*encoder* was hostile (the CRC protects both regions against channel
+corruption).  Strings are UTF-8 with a varint length prefix; ``f64`` is
 a big-endian IEEE double.  Decoded header strings are ``sys.intern``\\ ed
 so the subject-match memo and per-app lanes key on identical objects,
 and the parse itself runs on a single :class:`~repro.sim.framing.Cursor`
@@ -96,10 +134,11 @@ from ..sim.framing import (CorruptFrame, Cursor, frame, unframe_view,
 from .message import Envelope, Packet, PacketKind, QoS
 from .metrics import MetricsRegistry
 
-__all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY", "StringTable",
+__all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY", "EnvelopeView",
+           "FrameDigest", "StringTable",
            "UnresolvedStringId", "configure_decode_memo",
            "decode_memo_stats", "decode_packet", "encode_envelope",
-           "wire_metrics",
+           "read_digest", "wire_metrics",
            "encode_envelope_compressed", "encode_packet",
            "envelope_wire_size", "packet_wire_size"]
 
@@ -120,9 +159,14 @@ _P_NACK_RANGE = 0x01
 _P_ACK_LEDGER = 0x02
 _P_ACK_CONSUMER = 0x04
 _P_COMPRESSED = 0x08
+_P_DIGEST = 0x10
 
 # envelope flag bits
 _E_LEDGER = 0x01
+
+# digest entry flag bits
+_D_LEDGER = 0x01     # guaranteed envelope: receivers must decode fully
+_D_SESSION = 0x02    # envelope session differs from the packet session
 
 _intern = sys.intern
 
@@ -179,6 +223,74 @@ class StringTable:
         self.ids[text] = idx
         self.strings.append(_intern(text))
         return idx, True
+
+
+class EnvelopeView(Envelope):
+    """A decoded envelope whose payload is still a view into its frame.
+
+    Header fields (subject, session, seq, ...) are parsed eagerly —
+    they drive subscription matching and reliable ordering — but the
+    payload stays a zero-copy ``memoryview`` slice of the (immutable)
+    frame buffer.  The first ``payload`` read copies it out to ``bytes``
+    exactly once (counted in ``wire.lazy.hydrations``); an envelope that
+    is decoded but never delivered, retained, or re-encoded never pays
+    the copy.  Compares equal to a plain :class:`Envelope` with the same
+    fields, and is assignable/cacheable like one (``payload`` has a
+    setter; ``_wire_cache`` attributes land in the instance dict), so
+    everything downstream of the decoder treats it as an Envelope.
+    """
+
+    def __init__(self, subject: str, sender: str, session: str, seq: int,
+                 qos: QoS, ledger_id: Optional[str], publish_time: float,
+                 via: Tuple[str, ...], envelope_id: int,
+                 payload_view: memoryview):
+        # not the dataclass __init__: ``payload`` stays a lazy property
+        self.subject = subject
+        self.sender = sender
+        self.session = session
+        self.seq = seq
+        self.qos = qos
+        self.ledger_id = ledger_id
+        self.publish_time = publish_time
+        self.via = via
+        self.envelope_id = envelope_id
+        self._payload_view = payload_view
+        self._payload: Optional[bytes] = None
+        _lazy_views.value += 1
+
+    @property
+    def payload(self) -> bytes:
+        payload = self._payload
+        if payload is None:
+            payload = self._payload_view.tobytes()
+            self._payload = payload
+            self._payload_view = None
+            _lazy_hydrations.value += 1
+        return payload
+
+    @payload.setter
+    def payload(self, value: bytes) -> None:
+        self._payload = value
+        self._payload_view = None
+
+    @property
+    def hydrated(self) -> bool:
+        """True once the payload bytes have been materialized."""
+        return self._payload is not None
+
+    def __eq__(self, other: object) -> bool:
+        # the Envelope dataclass __eq__ requires an exact class match;
+        # a view must instead compare equal to any Envelope with the
+        # same fields (round-trip tests, retention lookups)
+        if not isinstance(other, Envelope):
+            return NotImplemented
+        return (
+            (self.subject, self.sender, self.session, self.seq,
+             self.payload, self.qos, self.ledger_id, self.publish_time,
+             self.via, self.envelope_id)
+            == (other.subject, other.sender, other.session, other.seq,
+                other.payload, other.qos, other.ledger_id,
+                other.publish_time, other.via, other.envelope_id))
 
 
 # ----------------------------------------------------------------------
@@ -291,6 +403,36 @@ def envelope_wire_size(envelope: Envelope) -> int:
 # packets
 # ----------------------------------------------------------------------
 
+def _write_digest(out: BytesIO, packet: Packet,
+                  table: Optional[StringTable]) -> None:
+    """Write the subject-digest region: one entry per envelope body.
+
+    With ``table`` (compressed frames) subjects/sessions are written as
+    table ids; every id is already interned — the envelope bodies were
+    encoded first (their defs precede the digest on the wire), and a
+    body always references its subject and session.
+    """
+    write_varint(out, len(packet.envelopes))
+    for envelope in packet.envelopes:
+        dflags = 0
+        if envelope.ledger_id is not None:
+            dflags |= _D_LEDGER
+        alt_session = envelope.session != packet.session
+        if alt_session:
+            dflags |= _D_SESSION
+        out.write(bytes((dflags,)))
+        if table is not None:
+            write_varint(out, table.ids[envelope.subject])
+        else:
+            write_str(out, envelope.subject)
+        write_varint(out, envelope.seq)
+        if alt_session:
+            if table is not None:
+                write_varint(out, table.ids[envelope.session])
+            else:
+                write_str(out, envelope.session)
+
+
 def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
     """Encode ``packet`` to one checksummed wire frame.
 
@@ -298,10 +440,12 @@ def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
     RETRANS frames are header-compressed: DATA defines ids first used in
     this frame, RETRANS defines every id it references (self-contained
     repair).  Other kinds — and any packet when ``table`` is ``None`` —
-    use the plain encoding.
+    use the plain encoding.  DATA and RETRANS frames always carry a
+    subject digest ahead of the envelope bodies (see the module
+    docstring) so receivers can interest-gate without decoding them.
     """
-    compress = (table is not None
-                and packet.kind in (PacketKind.DATA, PacketKind.RETRANS))
+    digest = packet.kind in (PacketKind.DATA, PacketKind.RETRANS)
+    compress = table is not None and digest
     out = BytesIO()
     try:
         out.write(bytes((_KIND_TO_CODE[packet.kind],)))
@@ -316,6 +460,8 @@ def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
         flags |= _P_ACK_CONSUMER
     if compress:
         flags |= _P_COMPRESSED
+    if digest:
+        flags |= _P_DIGEST
     out.write(bytes((flags,)))
     write_str(out, packet.session)
     write_f64(out, packet.session_start)
@@ -343,10 +489,13 @@ def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
         for idx, text in def_pairs:
             write_varint(out, idx)
             write_str(out, text)
+        _write_digest(out, packet, table)
         write_varint(out, len(bodies))
         for body in bodies:
             out.write(body)
     else:
+        if digest:
+            _write_digest(out, packet, None)
         write_varint(out, len(packet.envelopes))
         for envelope in packet.envelopes:
             out.write(encode_envelope(envelope))
@@ -371,6 +520,15 @@ _decode_memo_capacity = DEFAULT_DECODE_MEMO_CAPACITY
 # part of per-daemon ``_bus.stat.*`` snapshots, where self-referential
 # stat frames hitting the shared memo would make publishing perturb the
 # very counters being published.
+# digest memo: the O(header) companion of the decode memo, same design
+# (keyed by exact frame bytes; entries replay defines and validate needs
+# per receiver), shared capacity knob.  Kept separate because the two
+# populate independently: an interest-gated daemon reads only digests,
+# an interested one decodes fully.
+_DigestEntry = Tuple["FrameDigest", Optional[Dict[int, str]],
+                     Optional[Dict[int, str]]]
+_digest_memo: "OrderedDict[bytes, _DigestEntry]" = OrderedDict()
+
 _wire_metrics = MetricsRegistry()
 _decode_memo_hits = _wire_metrics.counter("wire.decode_memo.hits")
 _decode_memo_misses = _wire_metrics.counter("wire.decode_memo.misses")
@@ -378,16 +536,27 @@ _wire_metrics.gauge("wire.decode_memo.capacity",
                     source=lambda: _decode_memo_capacity)
 _wire_metrics.gauge("wire.decode_memo.size",
                     source=lambda: len(_decode_memo))
+_digest_memo_hits = _wire_metrics.counter("wire.digest_memo.hits")
+_digest_memo_misses = _wire_metrics.counter("wire.digest_memo.misses")
+_wire_metrics.gauge("wire.digest_memo.size",
+                    source=lambda: len(_digest_memo))
+#: lazy-payload accounting: views created by the decoder vs views whose
+#: payload something downstream actually materialized
+_lazy_views = _wire_metrics.counter("wire.lazy.views")
+_lazy_hydrations = _wire_metrics.counter("wire.lazy.hydrations")
 
 
 def wire_metrics() -> MetricsRegistry:
-    """The module-level registry holding the decode-memo instruments."""
+    """The module-level registry holding the decode-memo, digest-memo,
+    and lazy-payload (``wire.lazy.*``) instruments."""
     return _wire_metrics
 
 
 def configure_decode_memo(capacity: int = DEFAULT_DECODE_MEMO_CAPACITY
                           ) -> None:
-    """Resize the decode memo (0 disables it); clears entries and stats."""
+    """Resize the decode and digest memos (0 disables both); clears
+    entries and every module-level wire counter (memo hit/miss and
+    ``wire.lazy.*``) so runs start cold."""
     global _decode_memo_capacity
     if capacity < 0:
         raise ValueError(f"capacity must be >= 0 (got {capacity})")
@@ -395,6 +564,11 @@ def configure_decode_memo(capacity: int = DEFAULT_DECODE_MEMO_CAPACITY
     _decode_memo.clear()
     _decode_memo_hits.reset()
     _decode_memo_misses.reset()
+    _digest_memo.clear()
+    _digest_memo_hits.reset()
+    _digest_memo_misses.reset()
+    _lazy_views.reset()
+    _lazy_hydrations.reset()
 
 
 def decode_memo_stats() -> Dict[str, int]:
@@ -520,7 +694,33 @@ def _decode_packet_body(
             text = _intern(cur.str_())
             defines[idx] = text
             table[idx] = text
+    digest_count = None
+    if flags & _P_DIGEST:
+        if kind not in (PacketKind.DATA, PacketKind.RETRANS):
+            raise CorruptFrame(f"digest flag on {kind.value} packet")
+        # the full decode only *skips over* the digest — the bodies are
+        # authoritative — but digest subject/session refs still count as
+        # referenced ids, so a frame whose digest cites an unlearned id
+        # resolves (or fails) identically via read_digest and here.
+        digest_count = cur.varint()
+        for _ in range(digest_count):
+            dflags = cur.u8()
+            if dflags & ~(_D_LEDGER | _D_SESSION):
+                raise CorruptFrame(f"unknown digest flags {dflags:#x}")
+            if compressed:
+                _resolve_ref(cur.varint(), table, referenced, missing)
+            else:
+                cur.str_()
+            cur.varint()
+            if dflags & _D_SESSION:
+                if compressed:
+                    _resolve_ref(cur.varint(), table, referenced, missing)
+                else:
+                    cur.str_()
     count = cur.varint()
+    if digest_count is not None and digest_count != count:
+        raise CorruptFrame(
+            f"digest lists {digest_count} envelopes, body carries {count}")
     envelopes = []
     for _ in range(count):
         envelopes.append(
@@ -541,7 +741,7 @@ def _decode_packet_body(
 
 
 def _read_envelope(cur: Cursor, compressed: bool, table: Dict[int, str],
-                   referenced: Set[int], missing: Set[int]) -> Envelope:
+                   referenced: Set[int], missing: Set[int]) -> EnvelopeView:
     flags = cur.u8()
     if compressed:
         subject = _resolve_ref(cur.varint(), table, referenced, missing)
@@ -572,11 +772,178 @@ def _read_envelope(cur: Cursor, compressed: bool, table: Dict[int, str],
             via.append(_resolve_ref(cur.varint(), table, referenced, missing))
         else:
             via.append(_intern(cur.str_()))
-    payload = cur.bytes_()
-    return Envelope(subject=subject, sender=sender, session=session,
-                    seq=seq, payload=payload, qos=qos, ledger_id=ledger_id,
-                    publish_time=publish_time, via=tuple(via),
-                    envelope_id=envelope_id)
+    payload_view = cur.view_()
+    return EnvelopeView(subject, sender, session, seq, qos, ledger_id,
+                        publish_time, tuple(via), envelope_id, payload_view)
+
+
+# ----------------------------------------------------------------------
+# the O(header) digest read (the interest gate's view of a frame)
+# ----------------------------------------------------------------------
+
+class FrameDigest:
+    """What :func:`read_digest` learns about a frame without decoding it.
+
+    ``entries`` is one ``(session, seq)`` pair per envelope body, in
+    frame order; ``subjects`` the distinct subjects in first-seen order
+    (what the interest gate matches); ``needs_full`` is True when any
+    envelope must take the full decode path regardless of local interest
+    (guaranteed/ledgered envelopes, whose ack+dedupe protocol runs even
+    with no subscriber, and unsequenced ``seq == 0`` telemetry frames).
+    """
+
+    __slots__ = ("kind", "session", "session_start", "last_seq",
+                 "subjects", "entries", "needs_full")
+
+    def __init__(self, kind: PacketKind, session: str, session_start: float,
+                 last_seq: int, subjects: Tuple[str, ...],
+                 entries: List[Tuple[str, int]], needs_full: bool):
+        self.kind = kind
+        self.session = session
+        self.session_start = session_start
+        self.last_seq = last_seq
+        self.subjects = subjects
+        self.entries = entries
+        self.needs_full = needs_full
+
+
+def read_digest(data: bytes,
+                tables: Optional[Dict[str, Dict[int, str]]] = None
+                ) -> Optional[FrameDigest]:
+    """Parse just the header, defs, and subject digest of one frame.
+
+    The interest gate's entry point: O(header) work (the CRC check is
+    still O(frame), but at C speed), never touching envelope bodies.
+    Returns ``None`` for frames without a digest (HEARTBEAT/NACK/ACK, or
+    pre-digest encodings) — the caller must decode fully.  Like
+    :func:`decode_packet` it applies the frame's table definitions to
+    ``tables`` *even when the caller goes on to skip the frame* — a
+    skipped frame must still replay the definitions it carries — and
+    raises :class:`UnresolvedStringId` when the digest references ids
+    this receiver has not learned (the body references at least those
+    same ids, so the full path would fail identically).  Successful
+    reads are memoized by frame bytes next to the decode memo, with the
+    same per-receiver ``defines`` replay and by-value ``needs`` check.
+    """
+    key = None
+    if _decode_memo_capacity:
+        key = bytes(data)
+        entry = _digest_memo.get(key)
+        if entry is not None:
+            digest, needs, defines = entry
+            if needs is None:                       # plain frame
+                _digest_memo.move_to_end(key)
+                _digest_memo_hits.value += 1
+                return digest
+            table = (tables.setdefault(digest.session, {})
+                     if tables is not None else {})
+            for idx, text in defines.items():
+                table[idx] = text
+            unresolved = []
+            mismatch = False
+            for idx, text in needs.items():
+                have = table.get(idx)
+                if have is None:
+                    unresolved.append(idx)
+                elif have != text:
+                    mismatch = True                 # colliding table state
+                    break
+            if not mismatch:
+                _digest_memo.move_to_end(key)
+                _digest_memo_hits.value += 1
+                if unresolved:
+                    seqs = [seq for _, seq in digest.entries]
+                    raise UnresolvedStringId(
+                        digest.session, unresolved, min(seqs), max(seqs),
+                        digest.session_start)
+                return digest
+            key = None                              # bypass, parse fresh
+    digest, needs, defines = _read_digest_body(data, tables)
+    if key is not None and digest is not None:
+        _digest_memo_misses.value += 1
+        _digest_memo[key] = (digest, needs, defines)
+        while len(_digest_memo) > _decode_memo_capacity:
+            _digest_memo.popitem(last=False)
+    return digest
+
+
+def _read_digest_body(
+        data: bytes, tables: Optional[Dict[str, Dict[int, str]]]
+) -> Tuple[Optional[FrameDigest], Optional[Dict[int, str]],
+           Optional[Dict[int, str]]]:
+    cur = Cursor(unframe_view(data))
+    kind = _CODE_TO_KIND.get(cur.u8())
+    if kind is None:
+        raise CorruptFrame("unknown packet kind code")
+    flags = cur.u8()
+    if not flags & _P_DIGEST:
+        return None, None, None
+    session = _intern(cur.str_())
+    session_start = cur.f64()
+    last_seq = cur.varint()
+    if flags & _P_NACK_RANGE:
+        cur.varint()
+        cur.varint()
+    if flags & _P_ACK_LEDGER:
+        cur.str_()
+    if flags & _P_ACK_CONSUMER:
+        cur.str_()
+    compressed = bool(flags & _P_COMPRESSED)
+    defines: Optional[Dict[int, str]] = None
+    table: Dict[int, str] = {}
+    if compressed:
+        # apply the defs even if the digest resolves nothing below: the
+        # frame may be skipped, but its definitions must survive (later
+        # frames reference them without redefining)
+        if tables is not None:
+            table = tables.setdefault(session, {})
+        defines = {}
+        for _ in range(cur.varint()):
+            idx = cur.varint()
+            text = _intern(cur.str_())
+            defines[idx] = text
+            table[idx] = text
+    referenced: Set[int] = set()
+    missing: Set[int] = set()
+    entries: List[Tuple[str, int]] = []
+    subjects: List[str] = []
+    seen: Set[str] = set()
+    needs_full = False
+    for _ in range(cur.varint()):
+        dflags = cur.u8()
+        if dflags & ~(_D_LEDGER | _D_SESSION):
+            raise CorruptFrame(f"unknown digest flags {dflags:#x}")
+        if compressed:
+            subject = _resolve_ref(cur.varint(), table, referenced, missing)
+        else:
+            subject = _intern(cur.str_())
+        seq = cur.varint()
+        env_session = session
+        if dflags & _D_SESSION:
+            if compressed:
+                env_session = _resolve_ref(cur.varint(), table, referenced,
+                                           missing)
+            else:
+                env_session = _intern(cur.str_())
+        if dflags & _D_LEDGER or seq == 0:
+            needs_full = True
+        entries.append((env_session, seq))
+        if subject not in seen:
+            seen.add(subject)
+            subjects.append(subject)
+    # deliberately no exhaustion check: the envelope bodies follow,
+    # unread — that is the whole point
+    if missing:
+        seqs = [seq for _, seq in entries]
+        raise UnresolvedStringId(session, missing, min(seqs), max(seqs),
+                                 session_start)
+    needs = None
+    if compressed:
+        needs = {idx: table[idx] for idx in referenced
+                 if idx not in defines}
+    return (FrameDigest(kind, session, session_start, last_seq,
+                        tuple(subjects), entries, needs_full),
+            needs, defines)
 
 
 def packet_wire_size(packet: Packet) -> int:

@@ -99,3 +99,34 @@ def test_reentrant_flush_does_not_recurse_forever():
     batcher.add(envelope())
     assert [len(b) for b in batches] == [2]
     assert batcher.pending == 0
+
+
+def test_queued_bytes_is_a_running_counter_across_partial_drains():
+    """``flush`` drains at most ``max_messages``; the byte counter must
+    subtract exactly what left, so the remainder still crosses the bytes
+    threshold on its own (a re-summed counter would agree here — this
+    pins the running-counter bookkeeping against drift)."""
+    from repro.core import BoundedQueue
+    from repro.core.flow import POLICY_BLOCK
+
+    sim = Simulator()
+    batches = []
+    config = BatchConfig(enabled=True, batch_bytes=10**9,
+                         batch_delay=0.01, max_messages=4)
+    batcher = Batcher(sim, config, batches.append,
+                      queue=BoundedQueue("test.gather", capacity=16,
+                                         policy=POLICY_BLOCK))
+    one = envelope().size
+    for _ in range(6):
+        batcher.queue.offer(envelope())       # bypass add(): build backlog
+        batcher._queued_bytes += one
+    batcher.flush()                           # drains 4, leaves 2
+    assert [len(b) for b in batches] == [4]
+    assert batcher.pending == 2
+    assert batcher._queued_bytes == 2 * one   # exactly the remainder
+    sim.run_until(1.0)                        # remainder's delay window
+    assert [len(b) for b in batches] == [4, 2]
+    assert batcher._queued_bytes == 0
+    batcher.add(envelope())
+    batcher.shutdown()
+    assert batcher._queued_bytes == 0         # shutdown resets cleanly

@@ -1,0 +1,452 @@
+"""The interest-gated receive path: subject digests and lazy decode.
+
+Tentpole contract: a daemon with no matching subscription pays O(header)
+per frame — :func:`repro.core.wire.read_digest` reads the subject digest
+region without materializing envelope bodies, the
+:class:`~repro.core.subjects.SubjectTrie` answers ``matches_anything``
+per subject, and :meth:`ReliableReceiver.try_skip` advances the session
+window so the skip is *observably identical* to a full decode (same
+stats, same traces, no NACKs).  Guaranteed/ledgered envelopes and
+unsequenced telemetry always take the full path, and a mid-stream
+subscribe is honoured from the very next frame (the late-interest
+boundary documented in docs/PROTOCOLS.md).
+"""
+
+import pytest
+
+from repro.core import (BusConfig, CorruptFrame, Envelope, EnvelopeView,
+                        InformationBus, Packet, PacketKind, QoS, Router,
+                        StringTable, UnresolvedStringId, decode_packet,
+                        encode_packet, read_digest)
+from repro.core import wire
+from repro.core.reliable import ReliableConfig, ReliableReceiver
+from repro.objects import (AttributeSpec, DataObject, TypeDescriptor,
+                           standard_registry)
+from repro.sim import CostModel, Simulator
+from repro.sim.framing import frame, unframe
+
+
+# ----------------------------------------------------------------------
+# codec level: the digest region
+# ----------------------------------------------------------------------
+
+def make_envelope(subject="feed.equity.gmc", seq=1, session="node00#0",
+                  **kw):
+    return Envelope(subject=subject, sender="node00.pub", session=session,
+                    seq=seq, payload=b"payload-bytes", publish_time=0.5,
+                    **kw)
+
+
+def test_digest_roundtrip_plain():
+    packet = Packet(PacketKind.DATA, "node00#0",
+                    [make_envelope(seq=4), make_envelope("feed.fx.eur", 5)],
+                    session_start=0.25)
+    digest = read_digest(encode_packet(packet))
+    assert digest is not None
+    assert digest.kind is PacketKind.DATA
+    assert digest.session == "node00#0"
+    assert digest.session_start == 0.25
+    assert digest.subjects == ("feed.equity.gmc", "feed.fx.eur")
+    assert digest.entries == [("node00#0", 4), ("node00#0", 5)]
+    assert digest.needs_full is False
+
+
+def test_digest_roundtrip_compressed():
+    table = StringTable()
+    first = encode_packet(
+        Packet(PacketKind.DATA, "node00#0", [make_envelope(seq=1)],
+               session_start=0.0), table=table)
+    second = encode_packet(
+        Packet(PacketKind.DATA, "node00#0", [make_envelope(seq=2)],
+               session_start=0.0), table=table)
+    tables = {}
+    d1 = read_digest(first, tables=tables)
+    assert d1.subjects == ("feed.equity.gmc",)
+    assert d1.entries == [("node00#0", 1)]
+    # the second frame is reference-only on the wire; the digest resolves
+    # through the table the first frame defined
+    d2 = read_digest(second, tables=tables)
+    assert d2.subjects == ("feed.equity.gmc",)
+    assert d2.entries == [("node00#0", 2)]
+
+
+def test_digest_repeated_subject_listed_once():
+    packet = Packet(PacketKind.DATA, "node00#0",
+                    [make_envelope(seq=s) for s in (1, 2, 3)],
+                    session_start=0.0)
+    digest = read_digest(encode_packet(packet))
+    assert digest.subjects == ("feed.equity.gmc",)
+    assert [seq for _, seq in digest.entries] == [1, 2, 3]
+
+
+def test_control_frames_have_no_digest():
+    heartbeat = Packet(PacketKind.HEARTBEAT, "node00#0", last_seq=9,
+                       session_start=0.0)
+    assert read_digest(encode_packet(heartbeat)) is None
+    nack = Packet(PacketKind.NACK, "node01#0", nack_range=(3, 5))
+    assert read_digest(encode_packet(nack)) is None
+
+
+def test_needs_full_for_ledgered_and_unsequenced():
+    ledgered = Packet(PacketKind.DATA, "node00#0",
+                      [make_envelope(seq=1, qos=QoS.GUARANTEED,
+                                     ledger_id="node00.pub:1")],
+                      session_start=0.0)
+    assert read_digest(encode_packet(ledgered)).needs_full is True
+    stat = Packet(PacketKind.DATA, "node00#0",
+                  [make_envelope("_bus.stat.node00", seq=0)],
+                  session_start=0.0)
+    assert read_digest(encode_packet(stat)).needs_full is True
+    mixed = Packet(PacketKind.DATA, "node00#0",
+                   [make_envelope(seq=1),
+                    make_envelope(seq=2, qos=QoS.GUARANTEED,
+                                  ledger_id="node00.pub:2")],
+                   session_start=0.0)
+    assert read_digest(encode_packet(mixed)).needs_full is True
+
+
+def test_foreign_session_entries_carry_their_session():
+    """A RETRANS can repair envelopes from a session other than the
+    packet's own (router store-and-forward); the digest says whose."""
+    packet = Packet(PacketKind.RETRANS, "router#0",
+                    [make_envelope(seq=7, session="node05#0")],
+                    session_start=0.0)
+    digest = read_digest(encode_packet(packet))
+    assert digest.entries == [("node05#0", 7)]
+
+
+def test_unresolved_digest_matches_full_decode_failure():
+    """A receiver that missed the defining frame fails identically via
+    the digest path and the full path: same exception type, same session,
+    same seq span — so gated and ungated daemons arm the same repair."""
+    table = StringTable()
+    encode_packet(Packet(PacketKind.DATA, "node00#0",
+                         [make_envelope(seq=1)], session_start=0.0),
+                  table=table)
+    reference_only = encode_packet(
+        Packet(PacketKind.DATA, "node00#0", [make_envelope(seq=2)],
+               session_start=0.0), table=table)
+    with pytest.raises(UnresolvedStringId) as via_digest:
+        read_digest(reference_only, tables={})
+    with pytest.raises(UnresolvedStringId) as via_decode:
+        decode_packet(reference_only, tables={})
+    assert via_digest.value.session == via_decode.value.session
+    assert via_digest.value.first_seq == via_decode.value.first_seq
+    assert via_digest.value.last_seq == via_decode.value.last_seq
+    assert via_digest.value.missing <= via_decode.value.missing
+
+
+def test_every_corrupted_copy_raises_from_read_digest():
+    """The CRC guards the digest region too: any bit flip anywhere in
+    the frame raises before the gate can act on a damaged digest."""
+    data = encode_packet(Packet(PacketKind.DATA, "node00#0",
+                                [make_envelope(seq=1)], session_start=0.0))
+    read_digest(data)                 # prime the digest memo
+    for bit in range(0, 8 * len(data), 7):
+        corrupted = bytearray(data)
+        corrupted[bit // 8] ^= 1 << (bit % 8)
+        with pytest.raises(CorruptFrame):
+            read_digest(bytes(corrupted))
+    assert read_digest(data).entries == [("node00#0", 1)]
+
+
+def test_semantically_bad_digest_is_corrupt_on_both_paths():
+    """A digest entry with unknown flag bits (valid CRC) is rejected by
+    read_digest AND by decode_packet — the frame drops whole either way,
+    so gated and ungated receivers stay in lockstep."""
+    subject = "zq.unique.subject"
+    data = encode_packet(Packet(PacketKind.DATA, "node00#0",
+                                [make_envelope(subject, seq=1)],
+                                session_start=0.0))
+    body = bytearray(unframe(data))
+    marker = bytes([len(subject)]) + subject.encode()
+    at = body.index(marker)           # first occurrence: the digest entry
+    assert body[at - 1] == 0          # its dflags byte
+    body[at - 1] = 0x80               # an undefined digest flag
+    tampered = frame(bytes(body))
+    with pytest.raises(CorruptFrame):
+        read_digest(tampered)
+    with pytest.raises(CorruptFrame):
+        decode_packet(tampered)
+
+
+def test_digest_memo_shares_parses():
+    wire.configure_decode_memo()
+    data = encode_packet(Packet(PacketKind.DATA, "node00#0",
+                                [make_envelope(seq=1)], session_start=0.0))
+    read_digest(data)
+    read_digest(data)
+    metrics = wire.wire_metrics()
+    assert metrics.counter("wire.digest_memo.misses").value == 1
+    assert metrics.counter("wire.digest_memo.hits").value == 1
+
+
+# ----------------------------------------------------------------------
+# lazy envelope decode
+# ----------------------------------------------------------------------
+
+def test_decoded_envelopes_are_lazy_views():
+    wire.configure_decode_memo()
+    data = encode_packet(Packet(PacketKind.DATA, "node00#0",
+                                [make_envelope(seq=1)], session_start=0.0))
+    envelope = decode_packet(data).envelopes[0]
+    assert isinstance(envelope, EnvelopeView)
+    assert not envelope.hydrated
+    metrics = wire.wire_metrics()
+    assert metrics.counter("wire.lazy.views").value == 1
+    assert metrics.counter("wire.lazy.hydrations").value == 0
+    assert envelope.payload == b"payload-bytes"   # hydrates exactly once
+    assert envelope.hydrated
+    assert envelope.payload == b"payload-bytes"
+    assert metrics.counter("wire.lazy.hydrations").value == 1
+
+
+def test_envelope_view_equals_eager_envelope():
+    data = encode_packet(Packet(PacketKind.DATA, "node00#0",
+                                [make_envelope(seq=3)], session_start=0.0))
+    view = decode_packet(data).envelopes[0]
+    eager = make_envelope(seq=3)
+    assert view == eager
+    assert eager == view              # reflected comparison too
+    assert view != make_envelope(seq=4)
+
+
+# ----------------------------------------------------------------------
+# try_skip: the window-advance contract
+# ----------------------------------------------------------------------
+
+def make_receiver():
+    sim = Simulator(seed=1)
+    delivered, nacks = [], []
+    receiver = ReliableReceiver(
+        sim, ReliableConfig(),
+        deliver=lambda e, r: delivered.append(e.seq),
+        send_nack=lambda s, f, l: nacks.append((s, f, l)))
+    return sim, receiver, delivered, nacks
+
+
+def prime(receiver, upto=3, session="node00#0"):
+    for seq in range(1, upto + 1):
+        receiver.handle_envelope(make_envelope(seq=seq, session=session),
+                                 session_start=0.0)
+
+
+def test_try_skip_contiguous_advances_window():
+    sim, receiver, delivered, nacks = make_receiver()
+    prime(receiver)
+    before = receiver.stats("node00#0").delivered
+    assert receiver.try_skip([("node00#0", 4), ("node00#0", 5)])
+    stats = receiver.stats("node00#0")
+    assert stats.delivered == before + 2
+    assert nacks == []
+    # the next decoded envelope slots straight in: no phantom gap
+    receiver.handle_envelope(make_envelope(seq=6), session_start=0.0)
+    assert delivered == [1, 2, 3, 6]
+
+
+def test_try_skip_counts_duplicates():
+    sim, receiver, delivered, nacks = make_receiver()
+    prime(receiver)
+    assert receiver.try_skip([("node00#0", 2)])   # a retransmitted dup
+    assert receiver.stats("node00#0").duplicates == 1
+    assert receiver.stats("node00#0").delivered == 3
+
+
+def test_try_skip_refuses_unknown_session():
+    sim, receiver, delivered, nacks = make_receiver()
+    assert not receiver.try_skip([("stranger#0", 1)])
+
+
+def test_try_skip_refuses_gap():
+    sim, receiver, delivered, nacks = make_receiver()
+    prime(receiver)
+    assert not receiver.try_skip([("node00#0", 6)])   # would open a gap
+    assert receiver.stats("node00#0").delivered == 3  # untouched
+
+
+def test_try_skip_refuses_while_buffered():
+    sim, receiver, delivered, nacks = make_receiver()
+    prime(receiver)
+    receiver.handle_envelope(make_envelope(seq=6), session_start=0.0)
+    assert not receiver.try_skip([("node00#0", 4)])   # full path must run
+
+
+def test_try_skip_all_or_nothing():
+    """One bad entry rejects the whole frame with no partial commit."""
+    sim, receiver, delivered, nacks = make_receiver()
+    prime(receiver)
+    assert not receiver.try_skip([("node00#0", 4), ("node00#0", 9)])
+    assert receiver.stats("node00#0").delivered == 3
+    receiver.handle_envelope(make_envelope(seq=4), session_start=0.0)
+    assert delivered == [1, 2, 3, 4]
+
+
+def test_heartbeat_after_skip_sees_no_gap():
+    """A skip must leave ``known_last`` consistent, or the next
+    heartbeat would NACK data the daemon chose not to decode."""
+    sim, receiver, delivered, nacks = make_receiver()
+    prime(receiver)
+    assert receiver.try_skip([("node00#0", 4)])
+    receiver.handle_heartbeat("node00#0", last_seq=4, session_start=0.0)
+    sim.run_until(sim.now + 10.0)
+    assert nacks == []
+
+
+# ----------------------------------------------------------------------
+# end to end: the gated daemon
+# ----------------------------------------------------------------------
+
+def make_bus(seed=3, hosts=4, gating=True, **cfg):
+    bus = InformationBus(seed=seed, cost=CostModel.ideal(),
+                         config=BusConfig(interest_gating=gating, **cfg))
+    bus.add_hosts(hosts)
+    return bus
+
+
+def test_uninterested_daemon_skips_frames():
+    # adverts off so the only digest-bearing frames are the feed itself
+    # (advert snapshots are themselves skippable on router-less hosts,
+    # which would muddy the interested-daemon-never-skips assertion)
+    bus = make_bus(advertise_subscriptions=False)
+    got = []
+    bus.client("node01", "mon").subscribe(
+        "feed.>", lambda s, p, i: got.append(p["n"]))
+    bus.client("node02", "mon").subscribe("quiet.>", lambda *a: None)
+    publisher = bus.client("node00", "pub")
+    for n in range(120):
+        publisher.publish("feed.tick", {"n": n})
+    bus.run_for(10.0)
+    assert got == list(range(120))
+    quiet = bus.daemons["node02"]
+    assert quiet.skipped_frames > 0
+    assert quiet.skipped_envelopes >= quiet.skipped_frames
+    assert bus.daemons["node01"].skipped_frames == 0   # interested: full path
+    # the skip is invisible to the reliable layer: both daemons tracked
+    # the publisher session identically and neither ever NACKed
+    session = bus.daemons["node00"].session
+    interested = bus.daemons["node01"].reliable_stats(session)
+    gated = quiet.reliable_stats(session)
+    assert gated.delivered == interested.delivered
+    assert gated.nacks_sent == interested.nacks_sent == 0
+    stats = quiet.wire_stats()
+    assert stats["interest_gating"] is True
+    assert stats["skipped_frames"] == quiet.skipped_frames
+    assert stats["skipped_envelopes"] == quiet.skipped_envelopes
+
+
+def test_gating_knob_off_disables_skip():
+    bus = make_bus(gating=False)
+    bus.client("node02", "mon").subscribe("quiet.>", lambda *a: None)
+    publisher = bus.client("node00", "pub")
+    for n in range(40):
+        publisher.publish("feed.tick", {"n": n})
+    bus.run_for(5.0)
+    assert all(d.skipped_frames == 0 for d in bus.daemons.values())
+    assert bus.daemons["node02"].wire_stats()["interest_gating"] is False
+
+
+def test_late_interest_subscribe_mid_stream():
+    """Satellite: the late-interest boundary (docs/PROTOCOLS.md).  While
+    uninterested, a daemon *consumes* the stream — window advanced,
+    bodies dropped.  A mid-stream subscribe is honoured from the very
+    next frame; the skipped prefix is gone for good and is NOT repaired
+    (it was delivered-by-choice, not lost), so no NACK ever fires."""
+    bus = make_bus(seed=7, hosts=2)
+    late_box = []
+    client = bus.client("node01", "mon")
+    client.subscribe("quiet.>", lambda *a: None)   # daemon up, no interest
+    publisher = bus.client("node00", "pub")
+    for n in range(30):
+        bus.sim.schedule(0.01 + n * 0.02, publisher.publish,
+                         "feed.tick", {"n": n})
+    join_at = 0.35
+    bus.sim.schedule(join_at, client.subscribe, "feed.>",
+                     lambda s, p, i: late_box.append(p["n"]))
+    bus.run_for(30.0)
+    daemon = bus.daemons["node01"]
+    assert daemon.skipped_frames > 0               # the prefix was gated
+    assert late_box, "late subscriber heard nothing"
+    assert late_box == list(range(late_box[0], 30))  # contiguous suffix
+    assert late_box[0] > 0                          # prefix really skipped
+    session = bus.daemons["node00"].session
+    assert daemon.reliable_stats(session).nacks_sent == 0
+    assert daemon.reliable_stats(session).delivered == 30
+
+
+@pytest.mark.parametrize("compression", [True, False])
+def test_exactly_once_under_corruption_with_gating(compression):
+    """Satellite: a corrupted frame (digest region included) drops whole
+    and arms repair exactly as before gating existed — interested daemons
+    recover exactly-once, uninterested daemons still skip clean frames."""
+    bus = make_bus(seed=11, hosts=5, wire_compression=compression)
+    bus.lan.corrupt_rate = 0.15
+    inboxes = {}
+    for i in (1, 2, 3):
+        box = []
+        inboxes[f"node{i:02d}"] = box
+        bus.client(f"node{i:02d}", "mon").subscribe(
+            "feed.>", lambda s, p, i, box=box: box.append(p["n"]))
+    bus.client("node04", "mon").subscribe("quiet.>", lambda *a: None)
+    publisher = bus.client("node00", "pub")
+    for n in range(80):
+        publisher.publish("feed.tick", {"n": n})
+    bus.run_for(60.0)
+    assert bus.lan.frames_corrupted > 0
+    assert sum(d.corrupt_dropped for d in bus.daemons.values()) > 0
+    for address, box in inboxes.items():
+        assert box == list(range(80)), f"{address} saw {len(box)}"
+    assert bus.daemons["node04"].skipped_frames > 0
+
+
+def test_guaranteed_frames_take_full_path():
+    """Ledgered envelopes run the ack+dedupe protocol on every daemon,
+    subscriber or not — the gate must never skip them."""
+    bus = make_bus(seed=5, advertise_subscriptions=False)
+    got = []
+    bus.client("node02", "ledger").subscribe(
+        "g.>", lambda s, p, i: got.append(p["n"]), durable=True)
+    publisher = bus.client("node00", "pub")
+    for n in range(15):
+        publisher.publish("g.event", {"n": n}, qos=QoS.GUARANTEED)
+    bus.run_for(30.0)
+    assert sorted(got) == list(range(15))
+    assert bus.daemons["node00"].guaranteed_pending() == []
+    # node03 subscribes to nothing, yet decoded every ledgered frame
+    assert bus.daemons["node03"].skipped_frames == 0
+
+
+def test_router_forwarding_interest_rides_the_gate():
+    """A router leg's forwarding patterns live in its host daemon's
+    subscription trie, so the digest gate consults the forwarding table
+    for free: non-forwarded subjects are skipped on the router's bus,
+    forwarded ones are decoded and cross."""
+    sim = Simulator(seed=1)
+    config = BusConfig()
+    config.advert_interval = 0.5
+    east = InformationBus(cost=CostModel.ideal(), name="east", sim=sim,
+                          config=config)
+    west = InformationBus(cost=CostModel.ideal(), name="west", sim=sim,
+                          config=config)
+    east.add_hosts(3, prefix="e")
+    west.add_hosts(2, prefix="w")
+    router = Router()
+    router.add_leg(east)
+    router.add_leg(west)
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "story", attributes=[AttributeSpec("headline", "string")]))
+    received = []
+    west.client("w00", "monitor").subscribe(
+        "news.>", lambda s, o, i: received.append(s))
+    sim.run_until(2.0)                 # advert propagates; leg subscribes
+    pub = east.client("e00", "feed", registry=reg)
+    story = DataObject(reg, "story", headline="X")
+    for _ in range(25):
+        pub.publish("sports.scores", story)    # nobody anywhere wants it
+    sim.run_until(4.0)
+    gated = [east.daemons[h].skipped_frames for h in ("e01", "e02")]
+    assert all(count > 0 for count in gated), gated
+    assert all(s["forwarded"] == 0 for s in router.leg_stats().values())
+    pub.publish("news.equity.gmc", story)      # forwarded: full path
+    sim.run_until(6.0)
+    assert received == ["news.equity.gmc"]
