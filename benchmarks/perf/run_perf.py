@@ -25,6 +25,11 @@ wall-clock cost, the ceiling on how much traffic a run can push through:
   that either subscribes to the feed or to nothing it carries.  The
   uninterested path (digest read + trie probe + window advance) must be
   at least ``--min-interest-ratio`` times cheaper than the full decode.
+* ``typed_payload_bytes`` — per-message payload bytes for a DataObject
+  feed with inline type metadata vs the session type plane
+  (``BusConfig.type_plane``): after the first message of a session the
+  typed payload must be at least ``--min-typed-reduction`` smaller,
+  plus the same comparison end-to-end on total wire bytes.
 
 Each bench runs twice: with the caches disabled (the escape hatches:
 ``match_memo_capacity=0`` and ``configure_decode_memo(0)`` — the pre-PR
@@ -61,11 +66,13 @@ if str(SRC) not in sys.path:                       # repo-relative fallback
     sys.path.insert(0, str(SRC))
 
 from repro.core import (DAEMON_PORT, BusConfig, InformationBus,  # noqa: E402
-                        StringTable, SubjectTrie, decode_packet,
-                        encode_packet)
+                        StringTable, SubjectTrie, TypeTable,
+                        decode_packet, encode_packet)
 from repro.core import wire                                      # noqa: E402
 from repro.core.message import Envelope, Packet, PacketKind      # noqa: E402
-from repro.objects import encode                                 # noqa: E402
+from repro.objects import (AttributeSpec, DataObject,            # noqa: E402
+                           TypeDescriptor, encode, encode_typed,
+                           standard_registry)
 from repro.sim import CostModel, Tracer                          # noqa: E402
 
 CONSUMERS = 8
@@ -579,6 +586,214 @@ def check_gating_honesty(messages: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# the session type plane: payload bytes and same-seed honesty
+# ----------------------------------------------------------------------
+
+def _typed_registry():
+    reg = standard_registry()
+    reg.register(TypeDescriptor(
+        "tick_source", attributes=[AttributeSpec("name", "string")]))
+    reg.register(TypeDescriptor(
+        "tick", attributes=[
+            AttributeSpec("n", "int"),
+            AttributeSpec("venue", "string", required=False),
+            AttributeSpec("source", "tick_source", required=False)]))
+    return reg
+
+
+def _make_tick(reg, n: int) -> DataObject:
+    return DataObject(reg, "tick", n=n, venue="NYSE",
+                      source=DataObject(reg, "tick_source", name="feedco"))
+
+
+def bench_typed_payload_bytes(messages: int) -> dict:
+    """Per-message payload bytes, inline metadata vs the type plane.
+
+    ``payload_reduction`` is the steady-state per-message saving — what
+    every message after the first of a session stops carrying.  The
+    end-to-end run repeats the comparison on total wire bytes with
+    ``BusConfig.type_plane`` flipped (both runs deliver identically;
+    ``check_typed_honesty`` proves that separately).
+    """
+    reg = _typed_registry()
+    obj = _make_tick(reg, 1)
+    table = TypeTable()
+    typed_payload, _ = encode_typed(obj, reg, table)
+    inline_payload = encode(obj, reg, inline_types=True)
+    result = {
+        "messages": messages, "consumers": 3,
+        "inline_payload_bytes": len(inline_payload),
+        "typed_payload_bytes": len(typed_payload),
+        "payload_reduction": round(
+            1.0 - len(typed_payload) / len(inline_payload), 3),
+    }
+    for label, plane in (("flat", False), ("plane", True)):
+        wire.configure_decode_memo()
+        bus = InformationBus(
+            seed=7, cost=CostModel.ideal(),
+            config=BusConfig(type_plane=plane,
+                             advertise_subscriptions=False))
+        bus.add_hosts(4)
+        counts = [0]
+        def on_message(subject, obj, info):
+            counts[0] += 1
+        for i in range(1, 4):
+            bus.client(f"node{i:02d}", "mon").subscribe(
+                "market.>", on_message)
+        publisher = bus.client("node00", "pub",
+                               registry=_typed_registry())
+        for n in range(messages):
+            publisher.publish(WIRE_SUBJECT, _make_tick(reg, n))
+        bus.settle(5.0)
+        assert counts[0] == messages * 3, (
+            f"typed bench lost messages: {counts[0]} != {messages * 3}")
+        result[f"{label}_bytes"] = bus.lan.bytes_transmitted
+        result[f"{label}_bytes_per_msg"] = round(
+            bus.lan.bytes_transmitted / messages, 1)
+    result["wire_reduction"] = round(
+        1.0 - result["plane_bytes"] / result["flat_bytes"], 3)
+    return result
+
+
+def _typed_pivot_once(messages: int, seed: int = 42, **flags) -> dict:
+    """The honesty scenario once more, publishing *DataObjects* and
+    pivoted on ``BusConfig.type_plane``: corruption faults plus a
+    mid-stream subscribe and unsubscribe, after a clean warm-up that
+    publishes every subject once so string tables AND typedefs reach
+    every daemon before faults arm.  Payload bytes legitimately differ
+    between the modes, so trace fields named ``size`` are masked out of
+    the returned trace, and the MTU is raised so neither mode's repair
+    frames fragment (fragment boundaries follow payload size — the very
+    thing being optimised); everything else must be bit-identical."""
+    wire.configure_decode_memo()
+    tracer = Tracer(enabled=True)
+    cost = CostModel.ideal()
+    cost.bandwidth_bytes_per_sec = float("inf")
+    cost.mtu = 1 << 20
+    bus = InformationBus(seed=seed, cost=cost, tracer=tracer,
+                         config=BusConfig(advertise_subscriptions=False,
+                                          **flags))
+    bus.add_hosts(5)
+    reg = _typed_registry()
+    inboxes: dict = {}
+    for i in range(1, 4):
+        address = f"node{i:02d}"
+        box: list = []
+        inboxes[address] = box
+        bus.client(address, "mon").subscribe(
+            "feed.>",
+            lambda s, o, info, box=box: box.append((s, o.get("n"))))
+
+    late = bus.client("node04", "late")
+    late_box: list = []
+    inboxes["node04"] = late_box
+    state: dict = {}
+
+    def join():
+        state["sub"] = late.subscribe(
+            "feed.>", lambda s, o, info: late_box.append((s, o.get("n"))))
+
+    def leave():
+        late.unsubscribe(state["sub"])
+
+    publisher = bus.client("node00", "pub", registry=_typed_registry())
+    for n, subject in enumerate(SUBJECT_CYCLE):     # clean warm-up
+        bus.sim.schedule(0.01 + n * 0.01, publisher.publish,
+                         subject, _make_tick(reg, n))
+
+    def arm_fault():
+        bus.lan.corrupt_rate = 0.12
+
+    bus.sim.schedule(0.3, arm_fault)
+    bus.sim.schedule(0.8, join)
+    bus.sim.schedule(1.8, leave)
+
+    interval = 2.5 / messages
+    for n in range(messages):
+        bus.sim.schedule(0.4 + n * interval, publisher.publish,
+                         SUBJECT_CYCLE[n & 7],
+                         _make_tick(reg, n + len(SUBJECT_CYCLE)))
+    bus.run_for(30.0)
+    session = bus.daemons["node00"].session
+    decode_errors = sum(c.decode_errors
+                        for d in bus.daemons.values()
+                        for c in d.clients.values())
+    return {
+        "inboxes": inboxes,
+        "trace": [(r.time, r.category,
+                   {k: v for k, v in r.fields.items() if k != "size"})
+                  for r in tracer.records],
+        "retransmits": sum(1 for r in tracer.records
+                           if r.category == "retransmit"),
+        "corrupt_dropped": sum(d.corrupt_dropped
+                               for d in bus.daemons.values()),
+        "unresolved_dropped": sum(d.unresolved_dropped
+                                  for d in bus.daemons.values()),
+        "typedef_unresolved": sum(d.typedef_unresolved_dropped
+                                  for d in bus.daemons.values()),
+        "decode_errors": decode_errors,
+        "frames_corrupted": bus.lan.frames_corrupted,
+        "bytes": bus.lan.bytes_transmitted,
+        "skipped_frames": sum(d.skipped_frames
+                              for d in bus.daemons.values()),
+        "recv_stats": {
+            address: (stats.delivered, stats.duplicates, stats.nacks_sent)
+            for address in sorted(bus.daemons)
+            if address != "node00"
+            for stats in [bus.daemons[address].reliable_stats(session)]
+        },
+    }
+
+
+def check_typed_honesty(messages: int) -> dict:
+    """Same seed, ``type_plane`` on vs off: deliveries, traces (sizes
+    masked) and every counter must match under corruption faults,
+    retransmission and a mid-stream (late-joining) subscriber — while
+    the plane run moves fewer bytes."""
+    plane = _typed_pivot_once(messages, type_plane=True)
+    flat = _typed_pivot_once(messages, type_plane=False)
+    problems = []
+    if plane["inboxes"] != flat["inboxes"]:
+        problems.append("delivery sequences differ")
+    if plane["trace"] != flat["trace"]:
+        problems.append("trace records differ")
+    for key in ("corrupt_dropped", "frames_corrupted", "recv_stats",
+                "skipped_frames", "retransmits"):
+        if plane[key] != flat[key]:
+            problems.append(f"{key} differs "
+                            f"({plane[key]} != {flat[key]})")
+    if plane["frames_corrupted"] == 0:
+        problems.append("corruption fault was not exercised")
+    if plane["retransmits"] == 0:
+        problems.append("no retransmission was exercised")
+    if not plane["inboxes"]["node04"]:
+        problems.append("late-joining subscriber heard nothing")
+    for label, run in (("plane", plane), ("flat", flat)):
+        if run["unresolved_dropped"] or run["typedef_unresolved"]:
+            problems.append(f"{label} run leaked an unresolvable id "
+                            "(timeline would diverge)")
+        if run["decode_errors"]:
+            problems.append(f"{label} run hit payload decode errors")
+    if plane["bytes"] >= flat["bytes"]:
+        problems.append("type plane did not reduce bytes "
+                        f"({plane['bytes']} >= {flat['bytes']})")
+    total = sum(len(box) for box in plane["inboxes"].values())
+    return {
+        "ok": not problems,
+        "problems": problems,
+        "messages": messages,
+        "deliveries": total,
+        "midstream_subscriber_deliveries": len(plane["inboxes"]["node04"]),
+        "trace_records": len(plane["trace"]),
+        "frames_corrupted": plane["frames_corrupted"],
+        "corrupt_dropped": plane["corrupt_dropped"],
+        "retransmits": plane["retransmits"],
+        "bytes_plane": plane["bytes"],
+        "bytes_flat": flat["bytes"],
+    }
+
+
+# ----------------------------------------------------------------------
 # cache honesty: same seed, caches on/off, identical observable behaviour
 # ----------------------------------------------------------------------
 
@@ -696,6 +911,10 @@ def main(argv=None) -> int:
                         help="fail unless an uninteresting frame is at "
                              "least this many times cheaper to receive "
                              "than an interesting one")
+    parser.add_argument("--min-typed-reduction", type=float, default=0.40,
+                        help="fail unless the type plane cuts steady-"
+                             "state payload bytes per message by at "
+                             "least this fraction vs inline metadata")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -743,6 +962,20 @@ def main(argv=None) -> int:
           f"{gating['skipped_frames']} frames skipped, "
           f"identical with gating on/off")
 
+    print("typed honesty: fixed seed, type plane on vs off ...")
+    wire.configure_decode_memo()
+    typed_honesty = check_typed_honesty(det_msgs)
+    for problem in typed_honesty["problems"]:
+        print(f"  FAIL: {problem}")
+    if not typed_honesty["ok"]:
+        return 1
+    print(f"  ok — {typed_honesty['deliveries']} deliveries, "
+          f"{typed_honesty['trace_records']} trace records, "
+          f"{typed_honesty['retransmits']} retransmits, "
+          f"{typed_honesty['bytes_plane']} vs "
+          f"{typed_honesty['bytes_flat']} bytes, "
+          f"identical with the plane on/off")
+
     benches = {}
     print(f"fanout: 1 publisher -> {CONSUMERS} consumers, "
           f"{fanout_msgs} msgs ...")
@@ -763,10 +996,13 @@ def main(argv=None) -> int:
           f"uninterested daemon ...")
     benches["interest_scaling"] = bench_interest_scaling(interest_frames,
                                                          repeats)
+    print(f"typed_payload_bytes: inline metadata vs type plane, "
+          f"{fanout_msgs} msgs ...")
+    benches["typed_payload_bytes"] = bench_typed_payload_bytes(fanout_msgs)
     wire.configure_decode_memo()   # leave the process at defaults
 
     report = {
-        "schema": 4,
+        "schema": 5,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -775,6 +1011,7 @@ def main(argv=None) -> int:
         "determinism": determinism,
         "compression_honesty": compression,
         "gating_honesty": gating,
+        "typed_honesty": typed_honesty,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -788,6 +1025,11 @@ def main(argv=None) -> int:
                   f"(ratio {bench['interest_ratio']}x)")
         elif "overhead" in bench:
             print(f"  {name}: {rates}  (overhead {bench['overhead']:.1%})")
+        elif "payload_reduction" in bench:
+            print(f"  {name}: {bench['inline_payload_bytes']} -> "
+                  f"{bench['typed_payload_bytes']} payload bytes/msg  "
+                  f"(reduction {bench['payload_reduction']:.1%}, wire "
+                  f"{bench['wire_reduction']:.1%})")
         else:
             print(f"  {name}: {bench['plain_bytes_per_msg']} -> "
                   f"{bench['compressed_bytes_per_msg']} bytes/msg  "
@@ -819,6 +1061,11 @@ def main(argv=None) -> int:
     if ratio < args.min_interest_ratio:
         print(f"FAIL: interest ratio {ratio}x < "
               f"required {args.min_interest_ratio}x")
+        failed = True
+    typed = benches["typed_payload_bytes"]["payload_reduction"]
+    if typed < args.min_typed_reduction:
+        print(f"FAIL: typed payload reduction {typed:.1%} < "
+              f"required {args.min_typed_reduction:.1%}")
         failed = True
     return 1 if failed else 0
 

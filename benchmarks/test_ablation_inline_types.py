@@ -5,13 +5,17 @@ and learn unknown types — the mechanism behind every dynamic-evolution
 scenario in Section 5.2.  The cost is extra bytes per message.  This
 ablation measures that overhead for a realistic Story object and shows
 the obvious optimization (senders that know their audience already has
-the type can omit the metadata).
+the type can omit the metadata) — and then the session type plane
+(``BusConfig.type_plane``), which keeps the learn-on-first-sight
+property while hoisting the metadata out of every payload into
+once-per-session typedefs.
 """
 
 from repro.adapters import register_news_types
 from repro.bench import Report
-from repro.core import InformationBus
-from repro.objects import DataObject, encoded_size, standard_registry
+from repro.core import BusConfig, InformationBus, TypeTable
+from repro.objects import (DataObject, encode_typed, encoded_size,
+                           standard_registry)
 
 
 def sample_story(reg):
@@ -54,6 +58,34 @@ def run_ablation():
             "with": with_meta, "without": without_meta}
 
 
+def run_type_plane_ablation():
+    """The same story stream with the type plane on vs off, receivers
+    learning from scratch in both runs."""
+    reg = standard_registry()
+    register_news_types(reg)
+    story = sample_story(reg)
+    inline = encoded_size(story, reg, inline_types=True)
+    typed = len(encode_typed(story, reg, TypeTable())[0])
+
+    def wire_bytes(plane):
+        bus = InformationBus(seed=15, config=BusConfig(type_plane=plane))
+        bus.add_hosts(3)
+        pub = bus.client("node00", "feed", registry=reg)
+        count = [0]
+        consumer = bus.client("node01", "mon")   # bare registry: learns
+        consumer.subscribe("news.>", lambda s, o, i:
+                           count.__setitem__(0, count[0] + 1))
+        for _ in range(200):
+            pub.publish("news.equity.gmc", story)
+        bus.settle(10.0)
+        assert count[0] == 200
+        assert consumer.registry.has("reuters_story")
+        return bus.lan.bytes_transmitted
+
+    return {"inline": inline, "typed": typed,
+            "plane_wire": wire_bytes(True), "flat_wire": wire_bytes(False)}
+
+
 def test_inline_type_metadata_overhead(benchmark):
     results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
 
@@ -75,3 +107,26 @@ def test_inline_type_metadata_overhead(benchmark):
     # the overhead is real but bounded — the story's own data dominates
     assert 0 < overhead < results["bare"] * 4
     assert results["with"][1] > results["without"][1]
+
+
+def test_type_plane_ablation(benchmark):
+    results = benchmark.pedantic(run_type_plane_ablation,
+                                 rounds=1, iterations=1)
+
+    reduction = 1.0 - results["typed"] / results["inline"]
+    report = Report("ablation_type_plane")
+    report.table(
+        "Session type plane vs inline metadata for a reuters_story",
+        ["encoding", "bytes/message", "wire bytes (200 msgs)"],
+        [["inline types every message", results["inline"],
+          results["flat_wire"]],
+         ["type plane (steady state)", results["typed"],
+          results["plane_wire"]]])
+    report.note(f"steady-state payload reduction: {reduction:.0%} "
+                f"(acceptance floor 40%); both runs teach a blank "
+                f"receiver the types")
+    report.emit()
+
+    # the tentpole acceptance bar: >= 40% per-message payload saving
+    assert reduction >= 0.40
+    assert results["plane_wire"] < results["flat_wire"]

@@ -6,9 +6,10 @@ from .subjects import (BadSubjectError, SubjectTrie, is_admin_subject,
                        subject_matches, validate_pattern, validate_subject)
 from .message import Envelope, MessageInfo, Packet, PacketKind, QoS
 from .wire import (CorruptFrame, EnvelopeView, FrameDigest, StringTable,
-                   UnresolvedStringId,
+                   UnresolvedStringId, UnresolvedTypeId,
                    decode_packet, encode_envelope, encode_packet,
                    envelope_wire_size, packet_wire_size, read_digest)
+from .typeplane import PeerTypeView, TypeTable
 from .flow import (Admission, BoundedBuffer, BoundedQueue, FlowConfig,
                    FlowStats, OVERFLOW_POLICIES, POLICY_BLOCK,
                    POLICY_DROP_NEWEST, POLICY_DROP_OLDEST, PublishReceipt)
@@ -46,8 +47,9 @@ __all__ = [
     "ReliableReceiver", "decode_packet", "encode_envelope",
     "encode_packet", "envelope_wire_size", "packet_wire_size",
     "ReliableSender", "Responder", "RmiClient", "RmiError", "RmiServer",
-    "Router", "RouterLeg", "ServerGroup", "SessionStats", "StringTable",
-    "SubjectTrie", "Subscription", "UnresolvedStringId", "WanLink",
+    "PeerTypeView", "Router", "RouterLeg", "ServerGroup", "SessionStats",
+    "StringTable", "SubjectTrie", "Subscription", "TypeTable",
+    "UnresolvedStringId", "UnresolvedTypeId", "WanLink",
     "inquiry_subject", "is_admin_subject",
     "is_valid_pattern", "is_valid_subject", "split_subject",
     "subject_matches", "validate_pattern", "validate_subject",

@@ -17,7 +17,8 @@ from typing import Any, Callable, Dict, List, Optional
 
 import itertools
 
-from ..objects import TypeRegistry, decode, encode, standard_registry
+from ..objects import (TypeRegistry, decode, encode, encode_typed,
+                       standard_registry)
 from .daemon import BusDaemon
 from .flow import PublishReceipt
 from .message import Envelope, MessageInfo, QoS
@@ -102,12 +103,31 @@ class BusClient:
         bytes.  A falsy receipt means the outbound pipeline deferred or
         dropped the publish (see :meth:`on_flow_credit` to learn when to
         retry).  ``inline_types`` defaults to the bus config (normally
-        True, so receivers can learn new types).  ``via`` is for
-        information routers re-publishing forwarded traffic; ordinary
-        applications leave it empty.
+        True, so receivers can learn new types); with the session type
+        plane on (``BusConfig.type_plane``) that default is served by
+        :func:`~repro.objects.marshal.encode_typed` instead — receivers
+        still learn types, from typedefs riding the wire frames once per
+        session rather than inline in every payload.  An explicit
+        ``inline_types=`` argument always gets the requested
+        self-contained (or bare) encoding.  Guaranteed publishes stay
+        inline regardless: their ledgered payloads are retransmitted
+        across daemon restarts, outliving the session the type ids are
+        scoped to.  ``via`` is for information routers re-publishing
+        forwarded traffic; ordinary applications leave it empty.
         """
         if inline_types is None:
             inline_types = self.daemon.config.inline_types
+            if inline_types and qos is not QoS.GUARANTEED:
+                table = self.daemon.type_table
+                if table is not None:
+                    payload, type_refs = encode_typed(
+                        obj, self.registry, table)
+                    receipt = self.daemon.publish(
+                        self.id, subject, payload, qos, via=via,
+                        type_refs=type_refs)
+                    if receipt.accepted:
+                        self.messages_published += 1
+                    return receipt
         payload = encode(obj, self.registry, inline_types=inline_types)
         receipt = self.daemon.publish(self.id, subject, payload, qos,
                                       via=via)
@@ -190,7 +210,9 @@ class BusClient:
     # ------------------------------------------------------------------
     def _deliver(self, envelope: Envelope, retransmitted: bool) -> None:
         try:
-            obj = decode(envelope.payload, self.registry)
+            obj = decode(envelope.payload, self.registry,
+                         type_resolver=self.daemon.type_resolver(
+                             envelope.session))
         except Exception as error:   # unknown type, corrupt payload
             self.decode_errors += 1
             self.last_error = error

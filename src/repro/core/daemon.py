@@ -47,8 +47,10 @@ from .message import Envelope, Packet, PacketKind, QoS
 from .metrics import MetricsPublisher, MetricsRegistry
 from .reliable import ReliableConfig, ReliableReceiver, ReliableSender
 from .subjects import SubjectTrie, validate_subject
-from .wire import (CorruptFrame, StringTable, UnresolvedStringId,
-                   decode_packet, encode_packet, read_digest)
+from .typeplane import PeerTypeView, TypeTable
+from .wire import (CorruptFrame, StringTable, UnresolvedIds,
+                   UnresolvedTypeId, decode_packet, encode_packet,
+                   read_digest)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .client import BusClient
@@ -98,6 +100,16 @@ class BusConfig:
     auto_restart_clients: bool = True
     #: Marshal type metadata into every published message by default.
     inline_types: bool = True
+    #: Session type plane: when on (and ``inline_types`` would apply),
+    #: reliable publishes carry dense session type ids instead of the
+    #: full inline metadata block, with typedef definitions riding
+    #: once per session on the wire frames (see
+    #: :mod:`repro.core.typeplane` and "The session type plane" in
+    #: docs/PROTOCOLS.md).  Guaranteed publishes stay self-contained —
+    #: their ledgered payloads must outlive the session.  False keeps
+    #: the per-message inline encoding — the ablation baseline the perf
+    #: harness compares against to prove behaviour is bit-identical.
+    type_plane: bool = True
     #: Broadcast subscription-table changes on ADVERT_SUBJECT so routers
     #: can forward across WANs only what somebody actually wants.
     advertise_subscriptions: bool = True
@@ -193,6 +205,11 @@ class BusDaemon:
         #: CRC-valid compressed frames dropped because they referenced
         #: string-table ids this daemon never learned (repaired via NACK)
         self._unresolved_dropped = scope.counter("wire.unresolved_dropped")
+        #: CRC-valid typed frames dropped because they referenced
+        #: session type ids this daemon never learned (repaired via NACK;
+        #: the RETRANS re-defines every type it references)
+        self._typedef_unresolved = scope.counter(
+            "wire.typedef.unresolved_dropped")
         #: frames the interest gate skipped whole: no digest subject
         #: matched a local subscription, and the reliable window
         #: advanced straight from the digest (bodies never decoded)
@@ -212,6 +229,14 @@ class BusDaemon:
         scope.gauge("wire.peer_strings",
                     source=lambda: sum(len(t)
                                        for t in self._peer_tables.values()))
+        scope.gauge("wire.typedef.table_types",
+                    source=lambda: (len(self._type_table)
+                                    if self._type_table is not None else 0))
+        scope.gauge("wire.typedef.peer_sessions",
+                    source=lambda: len(self._peer_type_tables))
+        scope.gauge("wire.typedef.peer_types",
+                    source=lambda: sum(
+                        len(t) for t in self._peer_type_tables.values()))
         self._started = False
         host.on_crash(self._on_crash)
         host.on_recover(self._on_recover)
@@ -243,6 +268,10 @@ class BusDaemon:
     @property
     def unresolved_dropped(self) -> int:
         return self._unresolved_dropped.value
+
+    @property
+    def typedef_unresolved_dropped(self) -> int:
+        return self._typedef_unresolved.value
 
     @property
     def skipped_frames(self) -> int:
@@ -281,6 +310,13 @@ class BusDaemon:
         self._wire_table: Optional[StringTable] = (
             StringTable() if self.config.wire_compression else None)
         self._peer_tables: Dict[str, Dict[int, str]] = {}
+        # the session type plane is equally volatile: type ids are scoped
+        # to the session name, so a restart (fresh session) starts a
+        # fresh table and receivers never mix incarnations
+        self._type_table: Optional[TypeTable] = (
+            TypeTable() if self.config.type_plane else None)
+        self._peer_type_tables: Dict[str, Dict[int, bytes]] = {}
+        self._peer_type_views: Dict[str, PeerTypeView] = {}
         self._receiver = ReliableReceiver(self.sim, self.config.reliable,
                                           self._deliver_remote,
                                           self._send_nack,
@@ -485,7 +521,7 @@ class BusDaemon:
     # ------------------------------------------------------------------
     def publish(self, client_id: str, subject: str, payload: bytes,
                 qos: QoS = QoS.RELIABLE,
-                via: tuple = ()) -> PublishReceipt:
+                via: tuple = (), type_refs: tuple = ()) -> PublishReceipt:
         """Publish pre-marshalled ``payload`` under ``subject``.
 
         The receipt says whether the outbound pipeline admitted the
@@ -494,14 +530,17 @@ class BusDaemon:
         messages are already in the stable ledger and retransmit
         automatically.  ``via`` carries router path stamps on
         re-publications (see :mod:`repro.core.router`); ordinary
-        publishers leave it empty.
+        publishers leave it empty.  ``type_refs`` carries the session
+        type-table ids a payload marshalled with ``encode_typed``
+        references, so the wire layer can ride the typedef definitions
+        in-band.
         """
         self._require_up()
         validate_subject(subject)
         envelope = Envelope(subject=subject, sender=client_id,
                             session=self.session, seq=0, payload=payload,
                             qos=qos, publish_time=self.sim.now,
-                            via=tuple(via))
+                            via=tuple(via), type_refs=tuple(type_refs))
         if qos is QoS.GUARANTEED:
             # logged before the first transmission attempt, per the
             # paper — which is also why a full queue can safely defer
@@ -590,8 +629,10 @@ class BusDaemon:
         # one encoding per fan-out: the broadcast medium carries these
         # bytes to every consumer, so publisher cost is independent of
         # the consumer count (the paper's headline claim)
-        self._socket.broadcast(encode_packet(packet, self._wire_table),
-                               DAEMON_PORT)
+        self._socket.broadcast(
+            encode_packet(packet, self._wire_table,
+                          type_table=self._type_table),
+            DAEMON_PORT)
 
     def _send_heartbeat(self) -> None:
         if not self.up or self._sender.last_seq == 0:
@@ -608,12 +649,17 @@ class BusDaemon:
         if self.config.interest_gating and self._gate_datagram(data):
             return
         try:
-            packet = decode_packet(data, tables=self._peer_tables)
-        except UnresolvedStringId as err:
-            # CRC-valid but referencing table ids we never learned (the
-            # defining frame was lost): drop it like a gap, but *arm the
-            # repair* — the self-contained RETRANS will resolve
-            self._unresolved_dropped.value += 1
+            packet = decode_packet(data, tables=self._peer_tables,
+                                   type_tables=self._peer_type_tables)
+        except UnresolvedIds as err:
+            # CRC-valid but referencing table ids — string or type — we
+            # never learned (the defining frame was lost): drop it like
+            # a gap, but *arm the repair* — the self-contained RETRANS
+            # will resolve
+            if isinstance(err, UnresolvedTypeId):
+                self._typedef_unresolved.value += 1
+            else:
+                self._unresolved_dropped.value += 1
             if self.tracer:
                 self.tracer.emit(self.sim.now, "wire.unresolved",
                                  session=err.session,
@@ -658,12 +704,17 @@ class BusDaemon:
         other than trivial in-order/duplicate accounting.
         """
         try:
-            digest = read_digest(data, tables=self._peer_tables)
-        except UnresolvedStringId as err:
+            digest = read_digest(data, tables=self._peer_tables,
+                                 type_tables=self._peer_type_tables)
+        except UnresolvedIds as err:
             # identical handling to the full path: the bodies reference
-            # at least the ids the digest does, so decoding would have
-            # raised the same condition
-            self._unresolved_dropped.value += 1
+            # at least the ids the digest (and the typedef reference
+            # list) does, so decoding would have raised the same
+            # condition
+            if isinstance(err, UnresolvedTypeId):
+                self._typedef_unresolved.value += 1
+            else:
+                self._unresolved_dropped.value += 1
             if self.tracer:
                 self.tracer.emit(self.sim.now, "wire.unresolved",
                                  session=err.session,
@@ -698,12 +749,15 @@ class BusDaemon:
         if self.tracer:
             self.tracer.emit(self.sim.now, "retransmit", first=first,
                              last=last, count=len(repairs))
-        # the repair defines every table id it references, so the
-        # requester decodes it even if it missed the defining DATA frame
+        # the repair defines every table id — string *and* type — it
+        # references, so the requester decodes it even if it missed the
+        # defining DATA frame
         reply = Packet(PacketKind.RETRANS, self.session, repairs,
                        session_start=self.session_started)
-        self._socket.sendto(encode_packet(reply, self._wire_table),
-                            src[0], DAEMON_PORT)
+        self._socket.sendto(
+            encode_packet(reply, self._wire_table,
+                          type_table=self._type_table),
+            src[0], DAEMON_PORT)
 
     def _send_nack(self, session: str, first: int, last: int) -> None:
         if not self.up:
@@ -925,6 +979,33 @@ class BusDaemon:
             self._lane_offer(client, envelope, retransmitted=False)
 
     # ------------------------------------------------------------------
+    # session type plane (see repro.core.typeplane)
+    # ------------------------------------------------------------------
+    @property
+    def type_table(self) -> Optional[TypeTable]:
+        """This session's sender-side type table (None with the plane off)."""
+        return self._type_table
+
+    def type_resolver(self, session: str):
+        """The resolver clients use to decode ``O``-tagged payloads from
+        ``session``: this daemon's own :class:`TypeTable` for loop-back
+        deliveries, or a cached :class:`PeerTypeView` over the typedefs
+        learned from that peer session's frames.  ``None`` when the
+        session is unknown (a typed payload then fails decode with
+        ``UnknownTypeError`` — counted by the client, never a crash).
+        """
+        if self._type_table is not None and session == self.session:
+            return self._type_table
+        raw = self._peer_type_tables.get(session)
+        if raw is None:
+            return None
+        view = self._peer_type_views.get(session)
+        if view is None:
+            view = PeerTypeView(raw)
+            self._peer_type_views[session] = view
+        return view
+
+    # ------------------------------------------------------------------
     # introspection helpers (tests, benches, routers)
     # ------------------------------------------------------------------
     def reliable_stats(self, session: str):
@@ -951,6 +1032,13 @@ class BusDaemon:
             "interest_gating": self.config.interest_gating,
             "skipped_frames": self.skipped_frames,
             "skipped_envelopes": self.skipped_envelopes,
+            "type_plane": self._type_table is not None,
+            "typedef_table_types": (len(self._type_table)
+                                    if self._type_table is not None else 0),
+            "typedef_peer_sessions": len(self._peer_type_tables),
+            "typedef_peer_types": sum(
+                len(t) for t in self._peer_type_tables.values()),
+            "typedef_unresolved_dropped": self.typedef_unresolved_dropped,
         }
 
     def guaranteed_pending(self) -> List[LedgerEntry]:

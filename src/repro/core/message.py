@@ -80,6 +80,12 @@ class Envelope:
     #: *earlier, unrelated* runs created.  Per-daemon counters keep
     #: same-seed runs bit-identical.
     envelope_id: int = 0
+    #: session type-table ids the payload references when it was
+    #: marshalled with :func:`repro.objects.marshal.encode_typed`; the
+    #: wire layer rides the matching typedef definitions in-band
+    #: (:mod:`repro.core.typeplane`).  Send-side only — never encoded
+    #: into the envelope body, so decoded envelopes leave it empty.
+    type_refs: Tuple[int, ...] = ()
 
     @property
     def size(self) -> int:

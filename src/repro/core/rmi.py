@@ -205,6 +205,9 @@ class RmiServer:
         try:
             args = decode(msg["args"], self.service.registry)
             result = self.service.invoke(msg["op"], args)
+            # self-contained on purpose: replies are cached and replayed
+            # to duplicate requests from *later* sessions, so they must
+            # not reference session-scoped type-plane ids
             value = encode(result, self.service.registry, inline_types=True)
             reply = {"kind": "reply", "request_id": request_id,
                      "ok": True, "value": value}
@@ -308,6 +311,9 @@ class RmiClient:
         """
         if request_id is None:
             request_id = f"{self.client.id}#{next(_request_ids)}"
+        # self-contained on purpose: the request bytes are retained for
+        # re-issue (exactly-once retries may cross daemon restarts), so
+        # they must not reference session-scoped type-plane ids
         args_bytes = encode(args, self.client.registry, inline_types=True)
         data = encode({"kind": "call", "request_id": request_id, "op": op,
                        "args": args_bytes})

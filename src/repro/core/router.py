@@ -357,7 +357,10 @@ class RouterLeg:
         if self.router.store_and_forward and info.qos is QoS.GUARANTEED:
             self._sf_enqueue(subject, obj, info, targets)
             return
-        # marshal once per fan-out; every target leg gets the same bytes
+        # marshal once per fan-out; every target leg gets the same bytes.
+        # Self-contained on purpose: the payload crosses a WAN link out
+        # of the publishing session's scope, so it must not reference
+        # session-local type-plane ids.
         data = encode({
             "subject": subject, "via": list(info.via),
             "payload": encode(obj, self.router.registry, inline_types=True),
@@ -393,6 +396,8 @@ class RouterLeg:
         sf_id = f"{self.name}/{counter}"
         record = {
             "sf_id": sf_id, "subject": subject,
+            # self-contained on purpose: the record outlives this router
+            # process (replayed after restart), beyond any session scope
             "wire": encode(obj, self.router.registry, inline_types=True),
             "via": list(info.via), "pending": sorted(targets),
         }

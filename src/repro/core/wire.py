@@ -62,6 +62,30 @@ Failures are never cached.  :func:`configure_decode_memo` resizes or
 disables the memo (the escape hatch the perf harness uses to prove
 behaviour is unchanged).
 
+The session type plane
+----------------------
+
+Type metadata gets the same treatment one layer up (see
+:mod:`repro.core.typeplane`): a publishing daemon may hold a
+:class:`~repro.core.typeplane.TypeTable` assigning dense varint ids to
+type-descriptor fingerprints, and payloads marshalled with
+:func:`repro.objects.marshal.encode_typed` reference those ids instead
+of carrying the full description closure per message.  The matching
+definitions ride in a **typedef region** on the frames (flag ``0x20``),
+under exactly the string-table rules: a DATA frame defines ids on their
+first wire appearance, a RETRANS frame re-defines *all* ids its
+envelopes reference, and the region additionally lists the frame's full
+reference set so :func:`read_digest` validates resolvability in
+O(header) — gated and ungated receivers fail identically.  Definitions
+are opaque byte strings (marshalled ``describe()`` dicts) the wire
+layer never parses; receivers accumulate them per session in
+``type_tables``.  A frame referencing an unlearned type id raises
+:class:`UnresolvedTypeId` — same drop + NACK arming as
+:class:`UnresolvedStringId` (which takes precedence when both are
+missing, keeping the two decode paths deterministic).  The typedef
+region is independent of header compression and absent when no envelope
+in the frame carries typed payloads, so untyped traffic pays nothing.
+
 Subject digests and the interest gate
 -------------------------------------
 
@@ -92,8 +116,10 @@ Frame body layout (all integers varint unless noted)::
 
     packet     := kind:u8 flags:u8 session:str session_start:f64
                   last_seq [first last] [ack_ledger_id:str]
-                  [ack_consumer:str] [defs] [digest] count envelope*
+                  [ack_consumer:str] [defs] [tdefs] [digest] count envelope*
     defs       := def_count (id string:str)*          # iff flags COMPRESSED
+    tdefs      := tdef_count (tid desc:bytes)*
+                  tref_count tid*                     # iff flags TYPED
     digest     := entry_count entry*                  # iff flags DIGEST
     entry      := dflags:u8 subject seq [env_session]
     envelope   := flags:u8 subject:str sender:str session:str seq qos:u8
@@ -104,7 +130,11 @@ Frame body layout (all integers varint unless noted)::
                   via_count via_id* payload:bytes     # iff flags COMPRESSED
 
 ``flags`` marks which optional fields follow (packet bit ``0x08`` =
-COMPRESSED, ``0x10`` = DIGEST, set on every DATA/RETRANS frame).
+COMPRESSED, ``0x10`` = DIGEST, set on every DATA/RETRANS frame,
+``0x20`` = TYPED, set when any envelope references session type ids).
+``tdefs`` carries ``(type id, definition bytes)`` pairs followed by the
+frame's full type-reference list (``tref_count tid*``) — definitions
+are applied, references validated, on both decode paths.
 Digest ``subject``/``env_session`` are table ids iff the frame is
 COMPRESSED, else inline strings; ``env_session`` appears only when
 ``dflags`` bit ``0x02`` is set (the envelope's session differs from the
@@ -136,7 +166,8 @@ from .metrics import MetricsRegistry
 
 __all__ = ["CorruptFrame", "DEFAULT_DECODE_MEMO_CAPACITY", "EnvelopeView",
            "FrameDigest", "StringTable",
-           "UnresolvedStringId", "configure_decode_memo",
+           "UnresolvedStringId", "UnresolvedTypeId",
+           "configure_decode_memo",
            "decode_memo_stats", "decode_packet", "encode_envelope",
            "read_digest", "wire_metrics",
            "encode_envelope_compressed", "encode_packet",
@@ -160,6 +191,7 @@ _P_ACK_LEDGER = 0x02
 _P_ACK_CONSUMER = 0x04
 _P_COMPRESSED = 0x08
 _P_DIGEST = 0x10
+_P_TYPED = 0x20
 
 # envelope flag bits
 _E_LEDGER = 0x01
@@ -171,14 +203,16 @@ _D_SESSION = 0x02    # envelope session differs from the packet session
 _intern = sys.intern
 
 
-class UnresolvedStringId(CorruptFrame):
-    """A CRC-valid compressed frame referenced ids this receiver lacks.
+class UnresolvedIds(CorruptFrame):
+    """A CRC-valid frame referenced session ids this receiver lacks.
 
     Raised after the frame's own definitions have been applied to the
     receiver's table.  Carries enough metadata for the reliability layer
     to treat the drop like a gap and arm a NACK
     (:meth:`~repro.core.reliable.ReliableReceiver.note_undecodable`).
     """
+
+    _what = "ids"
 
     def __init__(self, session: str, missing: Iterable[int],
                  first_seq: int, last_seq: int, session_start: float):
@@ -188,8 +222,24 @@ class UnresolvedStringId(CorruptFrame):
         self.last_seq = last_seq
         self.session_start = session_start
         super().__init__(
-            f"unresolved string ids {sorted(self.missing)} in frame "
+            f"unresolved {self._what} {sorted(self.missing)} in frame "
             f"from {session!r} (seqs {first_seq}..{last_seq})")
+
+
+class UnresolvedStringId(UnresolvedIds):
+    """A compressed frame referenced string ids this receiver has not
+    learned (see "Wire header compression" above)."""
+
+    _what = "string ids"
+
+
+class UnresolvedTypeId(UnresolvedIds):
+    """A typed frame referenced session type ids this receiver has not
+    learned (see "The session type plane" above).  When a frame is
+    missing both string and type ids, :class:`UnresolvedStringId` wins —
+    both decode paths check strings first."""
+
+    _what = "type ids"
 
 
 class StringTable:
@@ -254,6 +304,7 @@ class EnvelopeView(Envelope):
         self.publish_time = publish_time
         self.via = via
         self.envelope_id = envelope_id
+        self.type_refs = ()   # send-side field; not carried in bodies
         self._payload_view = payload_view
         self._payload: Optional[bytes] = None
         _lazy_views.value += 1
@@ -433,19 +484,53 @@ def _write_digest(out: BytesIO, packet: Packet,
                 write_str(out, envelope.session)
 
 
-def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
+def _write_typedefs(out: BytesIO, packet: Packet, type_table,
+                    trefs: Set[int]) -> None:
+    """Write the typedef region: definitions, then the full ref list.
+
+    DATA frames define ids on their first wire appearance (tracked by
+    the table's ``wire_defined`` set — consulted here, at encode time,
+    so an envelope shed before reaching the wire never consumes a
+    definition); RETRANS frames re-define every id they reference, so
+    repairs and late joiners resolve with zero receiver state.
+    """
+    refs_sorted = sorted(trefs)
+    if packet.kind is PacketKind.RETRANS:
+        def_ids = refs_sorted
+    else:
+        def_ids = type_table.pending_defs(refs_sorted)
+    write_varint(out, len(def_ids))
+    for tid in def_ids:
+        write_varint(out, tid)
+        write_bytes(out, type_table.blob(tid))
+    write_varint(out, len(refs_sorted))
+    for tid in refs_sorted:
+        write_varint(out, tid)
+    _typedef_defined.value += len(def_ids)
+
+
+def encode_packet(packet: Packet, table: Optional[StringTable] = None,
+                  type_table=None) -> bytes:
     """Encode ``packet`` to one checksummed wire frame.
 
     With ``table`` (the sending daemon's :class:`StringTable`), DATA and
     RETRANS frames are header-compressed: DATA defines ids first used in
     this frame, RETRANS defines every id it references (self-contained
     repair).  Other kinds — and any packet when ``table`` is ``None`` —
-    use the plain encoding.  DATA and RETRANS frames always carry a
-    subject digest ahead of the envelope bodies (see the module
-    docstring) so receivers can interest-gate without decoding them.
+    use the plain encoding.  With ``type_table`` (the daemon's
+    :class:`~repro.core.typeplane.TypeTable`), frames whose envelopes
+    carry ``type_refs`` get a typedef region under the same
+    define-on-DATA / redefine-all-on-RETRANS rules.  DATA and RETRANS
+    frames always carry a subject digest ahead of the envelope bodies
+    (see the module docstring) so receivers can interest-gate without
+    decoding them.
     """
     digest = packet.kind in (PacketKind.DATA, PacketKind.RETRANS)
     compress = table is not None and digest
+    trefs: Set[int] = set()
+    if type_table is not None and digest:
+        for envelope in packet.envelopes:
+            trefs.update(getattr(envelope, "type_refs", ()))
     out = BytesIO()
     try:
         out.write(bytes((_KIND_TO_CODE[packet.kind],)))
@@ -462,6 +547,8 @@ def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
         flags |= _P_COMPRESSED
     if digest:
         flags |= _P_DIGEST
+    if trefs:
+        flags |= _P_TYPED
     out.write(bytes((flags,)))
     write_str(out, packet.session)
     write_f64(out, packet.session_start)
@@ -489,11 +576,15 @@ def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
         for idx, text in def_pairs:
             write_varint(out, idx)
             write_str(out, text)
+        if trefs:
+            _write_typedefs(out, packet, type_table, trefs)
         _write_digest(out, packet, table)
         write_varint(out, len(bodies))
         for body in bodies:
             out.write(body)
     else:
+        if trefs:
+            _write_typedefs(out, packet, type_table, trefs)
         if digest:
             _write_digest(out, packet, None)
         write_varint(out, len(packet.envelopes))
@@ -507,10 +598,13 @@ def encode_packet(packet: Packet, table: Optional[StringTable] = None) -> bytes:
 #: few hundred entries cover even deep outbound queues.
 DEFAULT_DECODE_MEMO_CAPACITY = 256
 
-# entry: (packet, needs, defines) — needs/defines are None for plain
-# frames; for compressed frames, defines maps in-frame definitions and
-# needs maps every other referenced id to its value at parse time.
-_MemoEntry = Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]]]
+# entry: (packet, needs, defines, tneeds, tdefines) — needs/defines are
+# None for plain frames; for compressed frames, defines maps in-frame
+# definitions and needs maps every other referenced id to its value at
+# parse time.  tneeds/tdefines are the same pair for the typedef region
+# (values are raw definition bytes), None for untyped frames.
+_MemoEntry = Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]],
+                   Optional[Dict[int, bytes]], Optional[Dict[int, bytes]]]
 _decode_memo: "OrderedDict[bytes, _MemoEntry]" = OrderedDict()
 _decode_memo_capacity = DEFAULT_DECODE_MEMO_CAPACITY
 
@@ -526,7 +620,8 @@ _decode_memo_capacity = DEFAULT_DECODE_MEMO_CAPACITY
 # populate independently: an interest-gated daemon reads only digests,
 # an interested one decodes fully.
 _DigestEntry = Tuple["FrameDigest", Optional[Dict[int, str]],
-                     Optional[Dict[int, str]]]
+                     Optional[Dict[int, str]], Optional[Dict[int, bytes]],
+                     Optional[Dict[int, bytes]]]
 _digest_memo: "OrderedDict[bytes, _DigestEntry]" = OrderedDict()
 
 _wire_metrics = MetricsRegistry()
@@ -544,6 +639,10 @@ _wire_metrics.gauge("wire.digest_memo.size",
 #: payload something downstream actually materialized
 _lazy_views = _wire_metrics.counter("wire.lazy.views")
 _lazy_hydrations = _wire_metrics.counter("wire.lazy.hydrations")
+#: typedef-region accounting: definitions written by encoders vs
+#: definitions learned by fresh (non-memoized) parses
+_typedef_defined = _wire_metrics.counter("wire.typedef.defined")
+_typedef_learned = _wire_metrics.counter("wire.typedef.learned")
 
 
 def wire_metrics() -> MetricsRegistry:
@@ -569,6 +668,8 @@ def configure_decode_memo(capacity: int = DEFAULT_DECODE_MEMO_CAPACITY
     _digest_memo_misses.reset()
     _lazy_views.reset()
     _lazy_hydrations.reset()
+    _typedef_defined.reset()
+    _typedef_learned.reset()
 
 
 def decode_memo_stats() -> Dict[str, int]:
@@ -580,48 +681,65 @@ def decode_memo_stats() -> Dict[str, int]:
 
 
 def decode_packet(data: bytes,
-                  tables: Optional[Dict[str, Dict[int, str]]] = None
+                  tables: Optional[Dict[str, Dict[int, str]]] = None,
+                  type_tables: Optional[Dict[str, Dict[int, bytes]]] = None
                   ) -> Packet:
     """Decode one wire frame back to a :class:`Packet`.
 
     ``tables`` is the receiving daemon's per-session learned string
     tables (``session -> {id: string}``); compressed frames read and
-    update them.  Without ``tables`` a throwaway table is used, so only
-    fully self-contained frames resolve.
+    update them.  ``type_tables`` is the analogous per-session learned
+    typedef map (``session -> {type id: definition bytes}``); typed
+    frames read and update it.  Without them throwaway tables are used,
+    so only fully self-contained frames resolve.
 
     Raises :class:`CorruptFrame` on any framing, checksum, or field
-    validation failure, and its subclass :class:`UnresolvedStringId`
-    when a compressed frame references ids this receiver has not
-    learned — the caller drops the frame and lets the NACK/heartbeat
-    machinery repair the gap.  Successful decodes are memoized by the
-    exact frame bytes (see the module docstring), so the N receivers of
-    one broadcast share a single parse; the memo replays each frame's
-    table effects per receiver, keeping per-receiver outcomes identical
-    to a fresh parse.
+    validation failure, and its subclasses :class:`UnresolvedStringId` /
+    :class:`UnresolvedTypeId` when a frame references ids this receiver
+    has not learned — the caller drops the frame and lets the
+    NACK/heartbeat machinery repair the gap.  Successful decodes are
+    memoized by the exact frame bytes (see the module docstring), so the
+    N receivers of one broadcast share a single parse; the memo replays
+    each frame's table effects per receiver, keeping per-receiver
+    outcomes identical to a fresh parse.
     """
     key = None
     if _decode_memo_capacity:
         key = bytes(data)
         entry = _decode_memo.get(key)
         if entry is not None:
-            packet, needs, defines = entry
-            if needs is None:                       # plain frame
+            packet, needs, defines, tneeds, tdefines = entry
+            if needs is None and tneeds is None:    # plain frame
                 _decode_memo.move_to_end(key)
                 _decode_memo_hits.value += 1
                 return packet
-            table = (tables.setdefault(packet.session, {})
-                     if tables is not None else {})
-            for idx, text in defines.items():
-                table[idx] = text
             unresolved = []
+            tunresolved = []
             mismatch = False
-            for idx, text in needs.items():
-                have = table.get(idx)
-                if have is None:
-                    unresolved.append(idx)
-                elif have != text:
-                    mismatch = True                 # colliding table state:
-                    break                           # this parse isn't ours
+            if defines is not None:
+                table = (tables.setdefault(packet.session, {})
+                         if tables is not None else {})
+                for idx, text in defines.items():
+                    table[idx] = text
+                for idx, text in needs.items():
+                    have = table.get(idx)
+                    if have is None:
+                        unresolved.append(idx)
+                    elif have != text:
+                        mismatch = True             # colliding table state:
+                        break                       # this parse isn't ours
+            if not mismatch and tdefines is not None:
+                ttable = (type_tables.setdefault(packet.session, {})
+                          if type_tables is not None else {})
+                for tid, blob in tdefines.items():
+                    ttable[tid] = blob
+                for tid, blob in tneeds.items():
+                    have = ttable.get(tid)
+                    if have is None:
+                        tunresolved.append(tid)
+                    elif have != blob:
+                        mismatch = True             # colliding table state
+                        break
             if not mismatch:
                 _decode_memo.move_to_end(key)
                 _decode_memo_hits.value += 1
@@ -630,12 +748,18 @@ def decode_packet(data: bytes,
                     raise UnresolvedStringId(
                         packet.session, unresolved, min(seqs), max(seqs),
                         packet.session_start)
+                if tunresolved:
+                    seqs = [e.seq for e in packet.envelopes]
+                    raise UnresolvedTypeId(
+                        packet.session, tunresolved, min(seqs), max(seqs),
+                        packet.session_start)
                 return packet
             key = None                              # bypass, parse fresh
-    packet, needs, defines = _decode_packet_body(data, tables)
+    packet, needs, defines, tneeds, tdefines = _decode_packet_body(
+        data, tables, type_tables)
     if key is not None:
         _decode_memo_misses.value += 1
-        _decode_memo[key] = (packet, needs, defines)
+        _decode_memo[key] = (packet, needs, defines, tneeds, tdefines)
         while len(_decode_memo) > _decode_memo_capacity:
             _decode_memo.popitem(last=False)
     return packet
@@ -651,9 +775,42 @@ def _resolve_ref(idx: int, table: Dict[int, str], referenced: Set[int],
     return value
 
 
+def _read_typedefs(cur: Cursor, session: str,
+                   type_tables: Optional[Dict[str, Dict[int, bytes]]]
+                   ) -> Tuple[Dict[int, bytes], Dict[int, bytes],
+                              List[int], Set[int]]:
+    """Parse one typedef region, applying its definitions.
+
+    The frame passed its CRC, so the definitions are intact: they go
+    into the receiver's per-session table even if reference validation
+    fails afterwards — that is what makes a later repair decodable.
+    Returns ``(ttable, tdefines, treferenced, tmissing)``.
+    """
+    ttable: Dict[int, bytes] = {}
+    if type_tables is not None:
+        ttable = type_tables.setdefault(session, {})
+    tdefines: Dict[int, bytes] = {}
+    for _ in range(cur.varint()):
+        tid = cur.varint()
+        blob = cur.bytes_()
+        tdefines[tid] = blob
+        ttable[tid] = blob
+    _typedef_learned.value += len(tdefines)
+    treferenced: List[int] = []
+    tmissing: Set[int] = set()
+    for _ in range(cur.varint()):
+        tid = cur.varint()
+        treferenced.append(tid)
+        if tid not in ttable:
+            tmissing.add(tid)
+    return ttable, tdefines, treferenced, tmissing
+
+
 def _decode_packet_body(
-        data: bytes, tables: Optional[Dict[str, Dict[int, str]]]
-) -> Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]]]:
+        data: bytes, tables: Optional[Dict[str, Dict[int, str]]],
+        type_tables: Optional[Dict[str, Dict[int, bytes]]] = None
+) -> Tuple[Packet, Optional[Dict[int, str]], Optional[Dict[int, str]],
+           Optional[Dict[int, bytes]], Optional[Dict[int, bytes]]]:
     cur = Cursor(unframe_view(data))
     try:
         kind = _CODE_TO_KIND[cur.u8()]
@@ -694,6 +851,17 @@ def _decode_packet_body(
             text = _intern(cur.str_())
             defines[idx] = text
             table[idx] = text
+    typed = bool(flags & _P_TYPED)
+    tneeds: Optional[Dict[int, bytes]] = None
+    tdefines: Optional[Dict[int, bytes]] = None
+    ttable: Dict[int, bytes] = {}
+    treferenced: List[int] = []
+    tmissing: Set[int] = set()
+    if typed:
+        if kind not in (PacketKind.DATA, PacketKind.RETRANS):
+            raise CorruptFrame(f"typedef flag on {kind.value} packet")
+        ttable, tdefines, treferenced, tmissing = _read_typedefs(
+            cur, session, type_tables)
     digest_count = None
     if flags & _P_DIGEST:
         if kind not in (PacketKind.DATA, PacketKind.RETRANS):
@@ -731,13 +899,22 @@ def _decode_packet_body(
         seqs = [e.seq for e in envelopes]
         raise UnresolvedStringId(session, missing, min(seqs), max(seqs),
                                  session_start)
+    if tmissing:
+        # a well-formed typed frame always has envelopes (the refs come
+        # from them), but a hostile encoder might not — default the span
+        seqs = [e.seq for e in envelopes] or [0]
+        raise UnresolvedTypeId(session, tmissing, min(seqs), max(seqs),
+                               session_start)
     if compressed:
         needs = {idx: table[idx] for idx in referenced
                  if idx not in defines}
+    if typed:
+        tneeds = {tid: ttable[tid] for tid in treferenced
+                  if tid not in tdefines}
     return (Packet(kind, session, envelopes, nack_range=nack_range,
                    last_seq=last_seq, session_start=session_start,
                    ack_ledger_id=ack_ledger_id, ack_consumer=ack_consumer),
-            needs, defines)
+            needs, defines, tneeds, tdefines)
 
 
 def _read_envelope(cur: Cursor, compressed: bool, table: Dict[int, str],
@@ -808,7 +985,8 @@ class FrameDigest:
 
 
 def read_digest(data: bytes,
-                tables: Optional[Dict[str, Dict[int, str]]] = None
+                tables: Optional[Dict[str, Dict[int, str]]] = None,
+                type_tables: Optional[Dict[str, Dict[int, bytes]]] = None
                 ) -> Optional[FrameDigest]:
     """Parse just the header, defs, and subject digest of one frame.
 
@@ -816,38 +994,54 @@ def read_digest(data: bytes,
     still O(frame), but at C speed), never touching envelope bodies.
     Returns ``None`` for frames without a digest (HEARTBEAT/NACK/ACK, or
     pre-digest encodings) — the caller must decode fully.  Like
-    :func:`decode_packet` it applies the frame's table definitions to
-    ``tables`` *even when the caller goes on to skip the frame* — a
-    skipped frame must still replay the definitions it carries — and
-    raises :class:`UnresolvedStringId` when the digest references ids
-    this receiver has not learned (the body references at least those
-    same ids, so the full path would fail identically).  Successful
-    reads are memoized by frame bytes next to the decode memo, with the
-    same per-receiver ``defines`` replay and by-value ``needs`` check.
+    :func:`decode_packet` it applies the frame's table and typedef
+    definitions to ``tables``/``type_tables`` *even when the caller goes
+    on to skip the frame* — a skipped frame must still replay the
+    definitions it carries — and raises :class:`UnresolvedStringId` /
+    :class:`UnresolvedTypeId` when the digest or the typedef reference
+    list cites ids this receiver has not learned (the bodies reference
+    at least those same ids, so the full path would fail identically).
+    Successful reads are memoized by frame bytes next to the decode
+    memo, with the same per-receiver ``defines`` replay and by-value
+    ``needs`` check.
     """
     key = None
     if _decode_memo_capacity:
         key = bytes(data)
         entry = _digest_memo.get(key)
         if entry is not None:
-            digest, needs, defines = entry
-            if needs is None:                       # plain frame
+            digest, needs, defines, tneeds, tdefines = entry
+            if needs is None and tneeds is None:    # plain frame
                 _digest_memo.move_to_end(key)
                 _digest_memo_hits.value += 1
                 return digest
-            table = (tables.setdefault(digest.session, {})
-                     if tables is not None else {})
-            for idx, text in defines.items():
-                table[idx] = text
             unresolved = []
+            tunresolved = []
             mismatch = False
-            for idx, text in needs.items():
-                have = table.get(idx)
-                if have is None:
-                    unresolved.append(idx)
-                elif have != text:
-                    mismatch = True                 # colliding table state
-                    break
+            if defines is not None:
+                table = (tables.setdefault(digest.session, {})
+                         if tables is not None else {})
+                for idx, text in defines.items():
+                    table[idx] = text
+                for idx, text in needs.items():
+                    have = table.get(idx)
+                    if have is None:
+                        unresolved.append(idx)
+                    elif have != text:
+                        mismatch = True             # colliding table state
+                        break
+            if not mismatch and tdefines is not None:
+                ttable = (type_tables.setdefault(digest.session, {})
+                          if type_tables is not None else {})
+                for tid, blob in tdefines.items():
+                    ttable[tid] = blob
+                for tid, blob in tneeds.items():
+                    have = ttable.get(tid)
+                    if have is None:
+                        tunresolved.append(tid)
+                    elif have != blob:
+                        mismatch = True             # colliding table state
+                        break
             if not mismatch:
                 _digest_memo.move_to_end(key)
                 _digest_memo_hits.value += 1
@@ -856,28 +1050,36 @@ def read_digest(data: bytes,
                     raise UnresolvedStringId(
                         digest.session, unresolved, min(seqs), max(seqs),
                         digest.session_start)
+                if tunresolved:
+                    seqs = [seq for _, seq in digest.entries] or [0]
+                    raise UnresolvedTypeId(
+                        digest.session, tunresolved, min(seqs), max(seqs),
+                        digest.session_start)
                 return digest
             key = None                              # bypass, parse fresh
-    digest, needs, defines = _read_digest_body(data, tables)
+    digest, needs, defines, tneeds, tdefines = _read_digest_body(
+        data, tables, type_tables)
     if key is not None and digest is not None:
         _digest_memo_misses.value += 1
-        _digest_memo[key] = (digest, needs, defines)
+        _digest_memo[key] = (digest, needs, defines, tneeds, tdefines)
         while len(_digest_memo) > _decode_memo_capacity:
             _digest_memo.popitem(last=False)
     return digest
 
 
 def _read_digest_body(
-        data: bytes, tables: Optional[Dict[str, Dict[int, str]]]
+        data: bytes, tables: Optional[Dict[str, Dict[int, str]]],
+        type_tables: Optional[Dict[str, Dict[int, bytes]]] = None
 ) -> Tuple[Optional[FrameDigest], Optional[Dict[int, str]],
-           Optional[Dict[int, str]]]:
+           Optional[Dict[int, str]], Optional[Dict[int, bytes]],
+           Optional[Dict[int, bytes]]]:
     cur = Cursor(unframe_view(data))
     kind = _CODE_TO_KIND.get(cur.u8())
     if kind is None:
         raise CorruptFrame("unknown packet kind code")
     flags = cur.u8()
     if not flags & _P_DIGEST:
-        return None, None, None
+        return None, None, None, None, None
     session = _intern(cur.str_())
     session_start = cur.f64()
     last_seq = cur.varint()
@@ -903,6 +1105,15 @@ def _read_digest_body(
             text = _intern(cur.str_())
             defines[idx] = text
             table[idx] = text
+    typed = bool(flags & _P_TYPED)
+    tneeds: Optional[Dict[int, bytes]] = None
+    tdefines: Optional[Dict[int, bytes]] = None
+    ttable: Dict[int, bytes] = {}
+    treferenced: List[int] = []
+    tmissing: Set[int] = set()
+    if typed:
+        ttable, tdefines, treferenced, tmissing = _read_typedefs(
+            cur, session, type_tables)
     referenced: Set[int] = set()
     missing: Set[int] = set()
     entries: List[Tuple[str, int]] = []
@@ -937,13 +1148,20 @@ def _read_digest_body(
         seqs = [seq for _, seq in entries]
         raise UnresolvedStringId(session, missing, min(seqs), max(seqs),
                                  session_start)
+    if tmissing:
+        seqs = [seq for _, seq in entries] or [0]
+        raise UnresolvedTypeId(session, tmissing, min(seqs), max(seqs),
+                               session_start)
     needs = None
     if compressed:
         needs = {idx: table[idx] for idx in referenced
                  if idx not in defines}
+    if typed:
+        tneeds = {tid: ttable[tid] for tid in treferenced
+                  if tid not in tdefines}
     return (FrameDigest(kind, session, session_start, last_seq,
                         tuple(subjects), entries, needs_full),
-            needs, defines)
+            needs, defines, tneeds, tdefines)
 
 
 def packet_wire_size(packet: Packet) -> int:

@@ -16,7 +16,7 @@ from .data_object import DataObject, ValidationError, check_value
 from .builtin_types import PROPERTY_TYPE, standard_registry
 from .properties import PropertyIndex, is_property, make_property
 from .marshal import (MarshalError, UnknownTypeError, decode, encode,
-                      encoded_size, type_closure)
+                      encode_typed, encoded_size, type_closure)
 from .printer import render, render_lines
 from .service import ServiceError, ServiceObject
 
@@ -25,7 +25,8 @@ __all__ = [
     "OperationSpec", "PROPERTY_TYPE", "ParamSpec", "PropertyIndex",
     "ROOT_TYPE", "ServiceError", "ServiceObject", "TypeDescriptor",
     "TypeError_", "TypeRegistry", "UnknownTypeError", "ValidationError",
-    "check_value", "decode", "encode", "encoded_size", "is_property",
+    "check_value", "decode", "encode", "encode_typed", "encoded_size",
+    "is_property",
     "make_property", "parse_type_name", "render", "render_lines",
     "standard_registry", "type_closure",
 ]

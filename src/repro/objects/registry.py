@@ -3,10 +3,17 @@
 A :class:`TypeRegistry` holds every :class:`~repro.objects.types.
 TypeDescriptor` known to one process.  New types may be registered at any
 time — by TDL ``defclass`` forms, by the marshalling layer when a message
-arrives carrying inline metadata for a type this process has never seen,
-or directly through the API.  Listeners fire on each registration, which
-is how the Object Repository extends its database schema on the fly
-(Section 5.2).
+arrives carrying inline metadata (or references session type-plane
+typedefs, see :mod:`~repro.core.typeplane`) for a type this process has
+never seen, or directly through the API.  Listeners fire on each
+registration, which is how the Object Repository extends its database
+schema on the fly (Section 5.2).
+
+Idempotent re-registration is decided by descriptor *fingerprint*
+(:meth:`~repro.objects.types.TypeDescriptor.same_shape`): two processes
+that independently learn the same type off the wire converge, while a
+conflicting shape for an already-registered name raises — whether the
+conflict arrives inline or through the type plane.
 """
 
 from __future__ import annotations

@@ -18,6 +18,8 @@ Type names are strings.  Attribute/parameter types may be:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
@@ -156,6 +158,7 @@ class TypeDescriptor:
                 raise TypeError_(
                     f"type {name!r}: duplicate operation {op.name!r}")
             self._operations[op.name] = op
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # meta-object protocol (own declarations only; see TypeRegistry for
@@ -216,10 +219,31 @@ class TypeDescriptor:
             doc=desc.get("doc", ""),
         )
 
+    def fingerprint(self) -> str:
+        """Stable content hash of :meth:`describe`.
+
+        Two descriptors share a fingerprint iff they declare the same
+        interface; the hash is over a canonical (sorted-key) JSON
+        rendering, so attribute/operation *declaration order* matters —
+        it is part of the wire format — while dict iteration quirks do
+        not.  The session type plane (:mod:`repro.core.typeplane`) keys
+        its dense wire ids on this value, which is how a TDL
+        ``defclass`` that changes a type's shape mid-session propagates:
+        the new shape hashes differently, gets a fresh id, and is
+        re-defined in-band on next use.  Memoized — descriptors are
+        immutable after construction.
+        """
+        if self._fingerprint is None:
+            canonical = json.dumps(
+                self.describe(), sort_keys=True, separators=(",", ":"))
+            self._fingerprint = hashlib.sha256(
+                canonical.encode("utf-8")).hexdigest()
+        return self._fingerprint
+
     def same_shape(self, other: "TypeDescriptor") -> bool:
         """True if ``other`` declares an identical interface (idempotent
         re-registration check for dynamically distributed types)."""
-        return self.describe() == other.describe()
+        return self.fingerprint() == other.fingerprint()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<TypeDescriptor {self.name} : {self.supertype} "

@@ -76,6 +76,9 @@ class CaptureServer:
             # daemon after this callback) must imply durability
             self.client.host.stable.append(_WAL_LOG, {
                 "subject": subject,
+                # self-contained on purpose: WAL entries are decoded
+                # during recovery, long after the publishing session
+                # (and its type-plane ids) are gone
                 "wire": encode(obj, self.client.registry,
                                inline_types=True)})
         oid = self.store.store(obj)

@@ -79,6 +79,8 @@ class ObjectStore:
         if mapping.kind == "scalar":
             row[mapping.column] = value
         elif mapping.kind == "blob":
+            # blobs are self-contained on purpose: stored rows outlive
+            # every bus session, so they never use type-plane ids
             row[mapping.column] = None if value is None else \
                 encode(value, self.registry, inline_types=True)
         elif mapping.kind == "ref":
@@ -103,6 +105,7 @@ class ObjectStore:
         if mapping.element_kind == "scalar":
             return item
         if mapping.element_kind == "blob":
+            # self-contained, same as _store_attribute blob columns
             return encode(item, self.registry, inline_types=True)
         self.store(item)   # element objects stored by reference
         return item.oid

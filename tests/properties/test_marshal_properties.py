@@ -106,3 +106,106 @@ def test_truncation_never_decodes_silently(value):
         if 0 < cut < len(wire):
             with pytest.raises(Exception):
                 decode(wire[:cut], reg)
+
+
+# ----------------------------------------------------------------------
+# the session type plane (O-tag encoding)
+# ----------------------------------------------------------------------
+
+@given(attr_values)
+@settings(max_examples=150, deadline=None)
+def test_typed_roundtrip_through_a_type_table(attrs):
+    """``encode_typed`` + a resolver must round-trip anything the inline
+    path round-trips, teaching a blank registry the same shape."""
+    from repro.core import TypeTable
+    from repro.objects import encode_typed
+    reg = doc_registry()
+    obj = DataObject(reg, "doc", attrs)
+    table = TypeTable()
+    payload, refs = encode_typed(obj, reg, table)
+    assert refs                                   # a DataObject has refs
+    fresh = standard_registry()
+    back = decode(payload, fresh, type_resolver=table)
+    assert back == obj
+    assert back.oid == obj.oid
+    assert fresh.has("doc")
+    assert [a.name for a in fresh.all_attributes("doc")] == \
+        [a.name for a in reg.all_attributes("doc")]
+
+
+@given(attr_values, st.integers(min_value=2, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_typedef_reregistration_is_idempotent(attrs, repeats):
+    """Decoding N payloads of the same session leaves one registered
+    descriptor; the table interns one id per shape no matter how often
+    the type is used."""
+    from repro.core import TypeTable
+    from repro.objects import encode_typed
+    reg = doc_registry()
+    table = TypeTable()
+    fresh = standard_registry()
+    payloads = [encode_typed(DataObject(reg, "doc", attrs), reg, table)[0]
+                for _ in range(repeats)]
+    for payload in payloads:
+        decode(payload, fresh, type_resolver=table)
+    assert fresh.get("doc") is fresh.get("doc")   # single stable object
+    assert len(table) == len(set(
+        encode_typed(DataObject(reg, "doc", attrs), reg, table)[1]))
+
+
+@given(values, values)
+@settings(max_examples=100, deadline=None)
+def test_bare_values_ignore_the_type_table(a, b):
+    """Values without DataObjects encode identically with and without a
+    table, and intern nothing."""
+    from repro.core import TypeTable
+    from repro.objects import encode_typed
+    reg = doc_registry()
+    table = TypeTable()
+    for value in (a, b, [a, b], {"x": a}):
+        payload, refs = encode_typed(value, reg, table)
+        assert refs == ()
+        assert payload == encode(value)
+    assert len(table) == 0
+
+
+@given(st.lists(st.sampled_from(["string", "int", "float", "bool"]),
+                min_size=1, max_size=4, unique=False),
+       st.lists(st.sampled_from(["string", "int", "float", "bool"]),
+                min_size=1, max_size=4, unique=False))
+@settings(max_examples=100, deadline=None)
+def test_fingerprint_equality_is_shape_equality(types_a, types_b):
+    """Two descriptors fingerprint equal iff their shapes (names, types,
+    order) match — redefinition detection rests on this."""
+    def make(type_names):
+        return TypeDescriptor("t", attributes=[
+            AttributeSpec(f"a{i}", tn, required=False)
+            for i, tn in enumerate(type_names)])
+    a, b = make(types_a), make(types_b)
+    assert (a.fingerprint() == b.fingerprint()) == (types_a == types_b)
+    assert a.same_shape(b) == (types_a == types_b)
+
+
+@given(attr_values)
+@settings(max_examples=60, deadline=None)
+def test_conflicting_fingerprint_redefinition_raises(attrs):
+    """A session whose typedef conflicts with a receiver's registered
+    shape is a per-message decode failure, exactly like inline mode."""
+    import pytest
+    from repro.core import TypeTable
+    from repro.objects import TypeError_, encode_typed
+    reg = doc_registry()
+    table = TypeTable()
+    payload, _ = encode_typed(DataObject(reg, "doc", attrs), reg, table)
+    conflicted = standard_registry()
+    conflicted.register(TypeDescriptor("doc", attributes=[
+        AttributeSpec("other", "bytes", required=False)]))
+    with pytest.raises(TypeError_):
+        decode(payload, conflicted, type_resolver=table)
+    # inline mode fails the same way on the same conflict
+    wire = encode(DataObject(reg, "doc", attrs), reg, inline_types=True)
+    conflicted2 = standard_registry()
+    conflicted2.register(TypeDescriptor("doc", attributes=[
+        AttributeSpec("other", "bytes", required=False)]))
+    with pytest.raises(TypeError_):
+        decode(wire, conflicted2)
