@@ -30,6 +30,13 @@ wall-clock cost, the ceiling on how much traffic a run can push through:
   (``BusConfig.type_plane``): after the first message of a session the
   typed payload must be at least ``--min-typed-reduction`` smaller,
   plus the same comparison end-to-end on total wire bytes.
+* ``shard_scaling`` — *simulated*-time fan-out throughput with
+  ``BusConfig.subject_shards`` at 1 vs 4: under the paper-calibrated
+  cost model the per-packet CPU pipeline is the daemon bottleneck, and
+  four shard planes (four CPU lanes) must drain a subject-spread burst
+  at least ``--min-shard-ratio`` times faster.  The only bench on
+  simulated time: the simulator itself is single-threaded, so shard
+  planes pay wall-clock for what they save on the modelled host.
 
 Each bench runs twice: with the caches disabled (the escape hatches:
 ``match_memo_capacity=0`` and ``configure_decode_memo(0)`` — the pre-PR
@@ -66,7 +73,7 @@ if str(SRC) not in sys.path:                       # repo-relative fallback
     sys.path.insert(0, str(SRC))
 
 from repro.core import (DAEMON_PORT, BusConfig, InformationBus,  # noqa: E402
-                        StringTable, SubjectTrie, TypeTable,
+                        QoS, StringTable, SubjectTrie, TypeTable,
                         decode_packet, encode_packet)
 from repro.core import wire                                      # noqa: E402
 from repro.core.message import Envelope, Packet, PacketKind      # noqa: E402
@@ -794,6 +801,181 @@ def check_typed_honesty(messages: int) -> dict:
 
 
 # ----------------------------------------------------------------------
+# subject-space sharding: simulated-time scaling and same-seed honesty
+# ----------------------------------------------------------------------
+
+#: first elements whose crc32 lands on shards 0..3 at four planes — the
+#: round-robin burst spreads evenly, every plane carries traffic
+SHARD_FIRSTS = ("news", "feed0", "alpha", "beta")
+
+
+def _shard_fanout_once(messages: int, shards: int, seed: int = 2026) -> dict:
+    """One subject-spread burst under the paper-calibrated cost model,
+    measured in *simulated* seconds from first publish to last delivery.
+    Jitter and loss are zeroed so the drain time is pure pipeline shape:
+    one CPU lane per shard plane against one shared wire."""
+    wire.configure_decode_memo()
+    cost = CostModel(cpu_jitter=0.0, loss_probability=0.0)
+    bus = InformationBus(seed=seed, cost=cost,
+                         config=BusConfig(subject_shards=shards,
+                                          advertise_subscriptions=False))
+    consumers = 4
+    bus.add_hosts(consumers + 1)
+    done = {"count": 0, "last": 0.0}
+
+    def on_message(subject, obj, info):
+        done["count"] += 1
+        done["last"] = bus.sim.now
+
+    for i in range(consumers):
+        bus.client(f"node{i + 1:02d}", "consumer").subscribe(
+            ">", on_message)
+    publisher = bus.client("node00", "pub")
+    payload = encode({"tick": 1}, publisher.registry, inline_types=False)
+    for n in range(messages):
+        publisher.publish_bytes(
+            f"{SHARD_FIRSTS[n & 3]}.tick{n & 7}", payload)
+    bus.settle(180.0)
+    expected = messages * consumers
+    assert done["count"] == expected, (
+        f"shard fan-out lost messages: {done['count']} != {expected}")
+    if shards > 1:
+        published = {row["shard"]: row["published"]
+                     for row in bus.daemon("node00").shard_stats()}
+        assert all(published[k] > 0 for k in range(shards)), (
+            f"burst did not spread across planes: {published}")
+    return {"elapsed": done["last"], "deliveries": done["count"]}
+
+
+def bench_shard_scaling(messages: int) -> dict:
+    """Fan-out drain time at 1 vs 4 shard planes, in simulated time.
+
+    The tentpole claim: the single daemon's CPU pipeline is the fan-out
+    ceiling, and hash-sharding the subject space onto per-plane lanes
+    raises it.  ``shard_ratio`` is the throughput multiple at 4 planes;
+    the CI floor (``--min-shard-ratio``) keeps it structural."""
+    result = {"messages": messages, "consumers": 4,
+              "firsts": list(SHARD_FIRSTS)}
+    for label, shards in (("one", 1), ("four", 4)):
+        run = _shard_fanout_once(messages, shards)
+        result[f"{label}_sim_seconds"] = round(run["elapsed"], 4)
+        result[f"{label}_sim_msgs_per_sec"] = round(
+            messages / run["elapsed"], 1)
+    result["shard_ratio"] = round(result["four_sim_msgs_per_sec"]
+                                  / result["one_sim_msgs_per_sec"], 2)
+    return result
+
+
+SHARD_SUBJECTS = [f"{SHARD_FIRSTS[i & 3]}.s{i & 7}" for i in range(8)]
+
+
+def _shard_pivot_once(messages: int, shards: int, seed: int = 42) -> dict:
+    """The honesty scenario pivoted on ``subject_shards``: literal,
+    wildcard and durable subscribers, a mid-stream subscribe and
+    unsubscribe, and periodic guaranteed publishes, under a zero-CPU
+    infinite-bandwidth cost model.  Zero CPU keeps event *times*
+    identical whether sends serialize on one lane or four; per-plane
+    sequence counters legitimately renumber, so ``seq`` is masked from
+    the trace alongside ``size`` (session strings differ by plane)."""
+    wire.configure_decode_memo()
+    tracer = Tracer(enabled=True)
+    cost = CostModel(bandwidth_bytes_per_sec=float("inf"),
+                     cpu_send_per_packet=0.0, cpu_send_per_byte=0.0,
+                     cpu_recv_per_packet=0.0, cpu_recv_per_byte=0.0,
+                     cpu_jitter=0.0, loss_probability=0.0)
+    bus = InformationBus(seed=seed, cost=cost, tracer=tracer,
+                         config=BusConfig(subject_shards=shards,
+                                          advertise_subscriptions=False))
+    bus.add_hosts(5)
+    inboxes: dict = {}
+
+    def collect(address):
+        box = inboxes.setdefault(address, {})
+        return lambda s, p, info: box.setdefault(s, []).append(p["n"])
+
+    lit = bus.client("node01", "lit")
+    lit.subscribe("news.>", collect("node01"))        # one plane
+    lit.subscribe("alpha.>", collect("node01"))       # another plane
+    bus.client("node02", "wild").subscribe(">", collect("node02"))
+    bus.client("node03", "db").subscribe("feed0.>", collect("node03"),
+                                         durable=True)
+    late = bus.client("node04", "late")
+    state: dict = {}
+
+    def join():
+        state["sub"] = late.subscribe(">", collect("node04"))
+
+    def leave():
+        late.unsubscribe(state["sub"])
+
+    bus.sim.schedule(0.8, join)
+    bus.sim.schedule(1.8, leave)
+
+    publisher = bus.client("node00", "pub")
+    interval = 2.5 / messages
+    for n in range(messages):
+        # every 8th message rides the guaranteed path, on the plane the
+        # durable consumer covers (feed0 -> acks must drain the ledger)
+        qos = QoS.GUARANTEED if n & 7 == 1 else QoS.RELIABLE
+        bus.sim.schedule(0.01 + n * interval, publisher.publish,
+                         SHARD_SUBJECTS[n & 7], {"n": n}, qos)
+    bus.run_for(30.0)
+    facade = bus.daemon("node00")
+    return {
+        "inboxes": inboxes,
+        "trace": [(r.time, r.category,
+                   {k: v for k, v in r.fields.items()
+                    if k not in ("seq", "size")})
+                  for r in tracer.records],
+        "published": sum(d.published for d in bus.daemons.values()),
+        "delivered": sum(d.delivered for d in bus.daemons.values()),
+        "acks_sent": sum(d.acks_sent for d in bus.daemons.values()),
+        "corrupt_dropped": sum(d.corrupt_dropped
+                               for d in bus.daemons.values()),
+        "pending": len(facade.guaranteed_pending()),
+        "retransmissions": facade.sender_retransmissions(),
+    }
+
+
+def check_sharding_honesty(messages: int) -> dict:
+    """Same seed, ``subject_shards=4`` vs ``1``: per-subject delivery
+    sequences, daemon counters, and the seq/size-masked trace must be
+    bit-identical — sharding relocates work, it must not reorder,
+    drop, or duplicate anything."""
+    sharded = _shard_pivot_once(messages, shards=4)
+    classic = _shard_pivot_once(messages, shards=1)
+    problems = []
+    if sharded["inboxes"] != classic["inboxes"]:
+        problems.append("per-subject delivery sequences differ")
+    if sharded["trace"] != classic["trace"]:
+        problems.append("trace records differ")
+    for key in ("published", "delivered", "acks_sent", "corrupt_dropped",
+                "pending", "retransmissions"):
+        if sharded[key] != classic[key]:
+            problems.append(f"{key} differs "
+                            f"({sharded[key]} != {classic[key]})")
+    if sharded["acks_sent"] == 0:
+        problems.append("guaranteed path was not exercised")
+    if sharded["pending"] != 0:
+        problems.append("guaranteed ledger did not drain "
+                        f"({sharded['pending']} pending)")
+    if not sharded["inboxes"].get("node04"):
+        problems.append("mid-stream subscriber heard nothing")
+    total = sum(len(ns) for box in sharded["inboxes"].values()
+                for ns in box.values())
+    return {
+        "ok": not problems,
+        "problems": problems,
+        "messages": messages,
+        "deliveries": total,
+        "trace_records": len(sharded["trace"]),
+        "acks_sent": sharded["acks_sent"],
+        "midstream_subscriber_subjects":
+            len(sharded["inboxes"].get("node04", {})),
+    }
+
+
+# ----------------------------------------------------------------------
 # cache honesty: same seed, caches on/off, identical observable behaviour
 # ----------------------------------------------------------------------
 
@@ -915,6 +1097,10 @@ def main(argv=None) -> int:
                         help="fail unless the type plane cuts steady-"
                              "state payload bytes per message by at "
                              "least this fraction vs inline metadata")
+    parser.add_argument("--min-shard-ratio", type=float, default=1.5,
+                        help="fail unless 4 shard planes drain the "
+                             "fan-out burst at least this many times "
+                             "faster (simulated time) than 1")
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -976,6 +1162,18 @@ def main(argv=None) -> int:
           f"{typed_honesty['bytes_flat']} bytes, "
           f"identical with the plane on/off")
 
+    print("sharding honesty: fixed seed, subject_shards 4 vs 1 ...")
+    wire.configure_decode_memo()
+    sharding_honesty = check_sharding_honesty(det_msgs)
+    for problem in sharding_honesty["problems"]:
+        print(f"  FAIL: {problem}")
+    if not sharding_honesty["ok"]:
+        return 1
+    print(f"  ok — {sharding_honesty['deliveries']} deliveries, "
+          f"{sharding_honesty['trace_records']} trace records, "
+          f"{sharding_honesty['acks_sent']} guaranteed acks, "
+          f"identical at 4 shards and 1")
+
     benches = {}
     print(f"fanout: 1 publisher -> {CONSUMERS} consumers, "
           f"{fanout_msgs} msgs ...")
@@ -999,10 +1197,12 @@ def main(argv=None) -> int:
     print(f"typed_payload_bytes: inline metadata vs type plane, "
           f"{fanout_msgs} msgs ...")
     benches["typed_payload_bytes"] = bench_typed_payload_bytes(fanout_msgs)
+    print(f"shard_scaling: subject_shards 1 vs 4, {fanout_msgs} msgs ...")
+    benches["shard_scaling"] = bench_shard_scaling(fanout_msgs)
     wire.configure_decode_memo()   # leave the process at defaults
 
     report = {
-        "schema": 5,
+        "schema": 6,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -1012,6 +1212,7 @@ def main(argv=None) -> int:
         "compression_honesty": compression,
         "gating_honesty": gating,
         "typed_honesty": typed_honesty,
+        "sharding_honesty": sharding_honesty,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -1020,6 +1221,9 @@ def main(argv=None) -> int:
         rates = ", ".join(f"{k}={bench[k]:,.0f}" for k in sorted(keys))
         if "speedup" in bench:
             print(f"  {name}: {rates}  (speedup {bench['speedup']}x)")
+        elif "shard_ratio" in bench:
+            print(f"  {name}: {rates}  "
+                  f"(shard ratio {bench['shard_ratio']}x, simulated time)")
         elif "interest_ratio" in bench:
             print(f"  {name}: {rates}  "
                   f"(ratio {bench['interest_ratio']}x)")
@@ -1066,6 +1270,11 @@ def main(argv=None) -> int:
     if typed < args.min_typed_reduction:
         print(f"FAIL: typed payload reduction {typed:.1%} < "
               f"required {args.min_typed_reduction:.1%}")
+        failed = True
+    shard = benches["shard_scaling"]["shard_ratio"]
+    if shard < args.min_shard_ratio:
+        print(f"FAIL: shard scaling ratio {shard}x < "
+              f"required {args.min_shard_ratio}x")
         failed = True
     return 1 if failed else 0
 

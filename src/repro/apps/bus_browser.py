@@ -71,14 +71,20 @@ class SubjectStats:
 
 @dataclass
 class HostTelemetry:
-    """The latest ``_bus.stat.*`` snapshot from one publishing source."""
+    """The latest ``_bus.stat.*`` snapshot from one publishing source.
 
-    source: str                  # "node00.daemon", "router0.router", ...
+    On a sharded host every shard plane is its own source (subject
+    ``..daemon.s<k>``, one snapshot stream per plane); ``shard`` labels
+    which plane this row describes, ``None`` for unsharded publishers.
+    """
+
+    source: str                  # "node00.daemon", "node00.daemon.s1", ...
     interval: float              # the publisher's advertised period
     first_seen: float
     last_seen: float
     metrics: Dict[str, Any] = field(default_factory=dict)
     snapshots: int = 0
+    shard: Optional[int] = None
 
     def alive(self, now: float) -> bool:
         """Fresh iff a snapshot arrived within ~3 publisher periods
@@ -195,11 +201,17 @@ class BusBrowser:
             self.stats[source] = entry
         entry.interval = payload.get("interval", entry.interval)
         entry.metrics = payload["metrics"]
+        entry.shard = payload.get("shard", entry.shard)
         entry.last_seen = now
         entry.snapshots += 1
 
     def telemetry(self) -> List[HostTelemetry]:
-        """Telemetry sources with a fresh snapshot, sorted by source."""
+        """Telemetry sources with a fresh snapshot, sorted by source.
+
+        A sharded host contributes one row per shard plane (the shard
+        id is on the row); :meth:`bus_top` sums across them, so fleet
+        totals cover every plane without double counting.
+        """
         now = self.client.sim.now
         return sorted((t for t in self.stats.values() if t.alive(now)),
                       key=lambda t: t.source)
@@ -265,9 +277,11 @@ class BusBrowser:
                 f" drop={top['dropped']} defer={top['deferred']}"
                 f" rexmit={top['retransmissions']}")
             for entry in live:
+                shard = (f" shard={entry.shard}"
+                         if entry.shard is not None else "")
                 lines.append(f"  {entry.source:<28}"
                              f" snapshots={entry.snapshots}"
-                             f" instruments={len(entry.metrics)}")
+                             f" instruments={len(entry.metrics)}{shard}")
         else:
             lines.append("  (no stat publishers)")
         return "\n".join(lines)

@@ -29,6 +29,7 @@ from ..sim.node import Host
 from ..sim.trace import NULL_TRACER, Tracer
 from .client import BusClient
 from .daemon import BusConfig, BusDaemon
+from .sharding import ShardedDaemon
 
 __all__ = ["InformationBus"]
 
@@ -53,10 +54,20 @@ class InformationBus:
     # topology
     # ------------------------------------------------------------------
     def add_host(self, address: str) -> Host:
-        """Attach a host and start its bus daemon."""
+        """Attach a host and start its bus daemon.
+
+        With ``config.subject_shards > 1`` the host gets a
+        :class:`~repro.core.sharding.ShardedDaemon` — one daemon per
+        shard plane behind the same interface.  The default (1) is the
+        classic single daemon, bit-for-bit.
+        """
         host = self.lan.add_host(address)
-        self.daemons[address] = BusDaemon(self.sim, host, self.config,
-                                          self.tracer)
+        if self.config.subject_shards > 1:
+            self.daemons[address] = ShardedDaemon(self.sim, host,
+                                                  self.config, self.tracer)
+        else:
+            self.daemons[address] = BusDaemon(self.sim, host, self.config,
+                                              self.tracer)
         return host
 
     def add_hosts(self, count: int, prefix: str = "node") -> List[Host]:

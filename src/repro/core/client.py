@@ -118,7 +118,10 @@ class BusClient:
         if inline_types is None:
             inline_types = self.daemon.config.inline_types
             if inline_types and qos is not QoS.GUARANTEED:
-                table = self.daemon.type_table
+                # ask by subject: on a sharded daemon each plane owns
+                # its own session type table, and the payload must
+                # reference ids defined on the plane that carries it
+                table = self.daemon.type_table_for(subject)
                 if table is not None:
                     payload, type_refs = encode_typed(
                         obj, self.registry, table)

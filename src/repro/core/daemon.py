@@ -56,7 +56,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from .client import BusClient
 
 __all__ = ["ADVERT_SUBJECT", "BusConfig", "BusDaemon", "BusDownError",
-           "DAEMON_PORT", "STAT_PORT", "STAT_SUBJECT_PREFIX"]
+           "DAEMON_PORT", "SHARD_PORT_STRIDE", "STAT_PORT",
+           "STAT_SUBJECT_PREFIX", "shard_data_port", "shard_stat_port"]
 
 #: The well-known UDP port every daemon binds.
 DAEMON_PORT = 7
@@ -65,6 +66,25 @@ DAEMON_PORT = 7
 #: frames ride a *separate* socket so their transport counters never
 #: perturb the data plane's — the first half of the no-echo guarantee.
 STAT_PORT = 8
+
+#: Port stride between shard planes.  Shard 0 keeps the well-known
+#: ports above; shard ``k`` binds ``DAEMON_PORT + 16k`` / ``STAT_PORT +
+#: 16k``, clear of the noise port (9) and far below the RMI ephemeral
+#: range (20000+).  Because every host derives the same ports from the
+#: same shard id, shard planes are disjoint broadcast domains on the
+#: shared segment — a frame on shard 2's port is only ever decoded by
+#: shard-2 daemons.
+SHARD_PORT_STRIDE = 16
+
+
+def shard_data_port(shard: int) -> int:
+    """The data-plane port of shard plane ``shard``."""
+    return DAEMON_PORT + SHARD_PORT_STRIDE * shard
+
+
+def shard_stat_port(shard: int) -> int:
+    """The telemetry port of shard plane ``shard``."""
+    return STAT_PORT + SHARD_PORT_STRIDE * shard
 
 #: Reserved subject on which daemons advertise their subscription tables
 #: (consumed by information routers; see repro.core.router).
@@ -152,6 +172,14 @@ class BusConfig:
     #: what full instrumentation costs.  Not for normal use: stats
     #: surfaces read garbage under it.
     metrics_stub: bool = False
+    #: Partition the subject space into this many hash-sharded planes,
+    #: each owned by its own daemon instance on its own CPU lane and
+    #: port pair (see :mod:`repro.core.sharding` and "Subject-space
+    #: sharding" in docs/PROTOCOLS.md).  The default 1 keeps today's
+    #: single-daemon-per-host behaviour bit-for-bit; values > 1 make
+    #: :class:`~repro.core.bus.InformationBus` build a
+    #: :class:`~repro.core.sharding.ShardedDaemon` facade instead.
+    subject_shards: int = 1
 
 
 class _DeliveryLane:
@@ -168,14 +196,30 @@ class _DeliveryLane:
 
 
 class BusDaemon:
-    """The bus agent on one host."""
+    """The bus agent on one host.
+
+    ``shard``/``shard_count`` place this daemon on one shard plane: it
+    binds that plane's port pair, serializes its CPU work on lane
+    ``shard``, and (for shard > 0) marks its session string so peers
+    and telemetry can tell the planes apart.  The defaults (0, 1) are
+    the classic unsharded daemon; :class:`~repro.core.sharding.
+    ShardedDaemon` builds one instance per plane.
+    """
 
     def __init__(self, sim: Simulator, host: Host,
                  config: Optional[BusConfig] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 shard: int = 0, shard_count: int = 1):
         self.sim = sim
         self.host = host
         self.config = config or BusConfig()
+        if not 0 <= shard < max(shard_count, 1):
+            raise ValueError(f"shard {shard} out of range for "
+                             f"{shard_count} shard(s)")
+        self.shard = shard
+        self.shard_count = max(shard_count, 1)
+        self._port = shard_data_port(shard)
+        self._stat_port = shard_stat_port(shard)
         # NULL_TRACER fallback, not `or`: a disabled Tracer is falsy, and
         # callers may hand one in intending to flip it on mid-run
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -237,6 +281,11 @@ class BusDaemon:
         scope.gauge("wire.typedef.peer_types",
                     source=lambda: sum(
                         len(t) for t in self._peer_type_tables.values()))
+        if self.shard_count > 1:
+            # the shard.* family only exists on sharded hosts, so
+            # unsharded snapshots are byte-identical to the pre-shard era
+            scope.gauge("shard.id", source=lambda: self.shard)
+            scope.gauge("shard.count", source=lambda: self.shard_count)
         self._started = False
         host.on_crash(self._on_crash)
         host.on_recover(self._on_recover)
@@ -285,7 +334,13 @@ class BusDaemon:
     # lifecycle
     # ------------------------------------------------------------------
     def _start(self) -> None:
-        self.session = f"{self.host.address}#{self.host.epoch}"
+        # shard > 0 marks the session *after* the '#': every consumer of
+        # session strings that wants the host parses `split('#', 1)[0]`
+        # (NACK unicast routing), which still yields the bare address
+        self.session = (f"{self.host.address}#{self.host.epoch}"
+                        if self.shard == 0 else
+                        f"{self.host.address}#{self.host.epoch}"
+                        f"~{self.shard}")
         self.session_started = self.sim.now
         # per-incarnation instrument families restart from zero, exactly
         # like the volatile state they describe (sessions, queues);
@@ -295,12 +350,13 @@ class BusDaemon:
                        f"flow.batch[{self.host.address}]",
                        f"transport.daemon[{self.host.address}]"):
             self.metrics.drop_prefix(prefix)
-        self._socket = DatagramSocket(self.sim, self.host, DAEMON_PORT,
+        self._socket = DatagramSocket(self.sim, self.host, self._port,
                                       self._on_datagram,
                                       metrics=self.metrics,
                                       metrics_name=(
                                           f"transport.daemon"
-                                          f"[{self.host.address}]"))
+                                          f"[{self.host.address}]"),
+                                      lane=self.shard)
         self._sender = ReliableSender(self.session, self.config.reliable,
                                       now=lambda: self.sim.now,
                                       metrics=self.metrics)
@@ -349,10 +405,12 @@ class BusDaemon:
         self._heartbeat = PeriodicTimer(
             self.sim, self.config.reliable.heartbeat_interval,
             self._send_heartbeat, name="daemon.heartbeat")
+        gd_namespace = f"s{self.shard}" if self.shard else ""
         self._gpub = GuaranteedPublisher(
             self.sim, self.host, self.config.ack_quorum,
-            self.config.retransmit_interval, self._republish_guaranteed)
-        self._gcon = GuaranteedConsumer(self.host)
+            self.config.retransmit_interval, self._republish_guaranteed,
+            namespace=gd_namespace)
+        self._gcon = GuaranteedConsumer(self.host, namespace=gd_namespace)
         #: volatile dedupe of guaranteed deliveries to non-durable clients
         #: (insertion-ordered so the oldest entries can be evicted at the
         #: configured cap)
@@ -367,8 +425,10 @@ class BusDaemon:
         # telemetry plane: own socket, own bounded queue, and NO
         # registry instruments of its own — the publisher must never
         # publish stats about its own stat traffic (no echo)
-        self._stat_socket = DatagramSocket(self.sim, self.host, STAT_PORT,
-                                           self._on_stat_datagram)
+        self._stat_socket = DatagramSocket(self.sim, self.host,
+                                           self._stat_port,
+                                           self._on_stat_datagram,
+                                           lane=self.shard)
         self._stat_queue = BoundedQueue(
             f"stat[{self.host.address}]", max(self.config.stat_queue, 1),
             POLICY_DROP_OLDEST)
@@ -407,7 +467,10 @@ class BusDaemon:
     def _on_recover(self) -> None:
         self._start()
         self._gcon.recover()
-        if self.config.auto_restart_clients:
+        # on a sharded host the facade re-attaches clients once, after
+        # *every* plane has restarted — a single plane doing it here
+        # would fan subscriptions into planes that are still down
+        if self.config.auto_restart_clients and self.shard_count == 1:
             for client in list(self.clients.values()):
                 client._reattach()
 
@@ -605,7 +668,7 @@ class BusDaemon:
         try:
             while self._outbound:
                 if backlog_cap is not None:
-                    backlog = self.host.send_backlog
+                    backlog = self.host.send_backlog_for(self.shard)
                     if backlog >= backlog_cap:
                         if self._pump_event is None:
                             self._pump_event = self.sim.schedule(
@@ -632,7 +695,7 @@ class BusDaemon:
         self._socket.broadcast(
             encode_packet(packet, self._wire_table,
                           type_table=self._type_table),
-            DAEMON_PORT)
+            self._port)
 
     def _send_heartbeat(self) -> None:
         if not self.up or self._sender.last_seq == 0:
@@ -640,7 +703,7 @@ class BusDaemon:
         packet = Packet(PacketKind.HEARTBEAT, self.session,
                         last_seq=self._sender.last_seq,
                         session_start=self.session_started)
-        self._socket.broadcast(encode_packet(packet), DAEMON_PORT)
+        self._socket.broadcast(encode_packet(packet), self._port)
 
     # ------------------------------------------------------------------
     # receive path
@@ -757,7 +820,7 @@ class BusDaemon:
         self._socket.sendto(
             encode_packet(reply, self._wire_table,
                           type_table=self._type_table),
-            src[0], DAEMON_PORT)
+            src[0], self._port)
 
     def _send_nack(self, session: str, first: int, last: int) -> None:
         if not self.up:
@@ -767,7 +830,7 @@ class BusDaemon:
         if self.tracer:
             self.tracer.emit(self.sim.now, "nack", session=session,
                              first=first, last=last)
-        self._socket.sendto(encode_packet(packet), target_host, DAEMON_PORT)
+        self._socket.sendto(encode_packet(packet), target_host, self._port)
 
     # ------------------------------------------------------------------
     # delivery to applications
@@ -886,7 +949,7 @@ class BusDaemon:
             # local durable consumer: ack without touching the wire
             self._gpub.handle_ack(envelope.ledger_id, self.host.address)
             return
-        self._socket.sendto(encode_packet(packet), origin_host, DAEMON_PORT)
+        self._socket.sendto(encode_packet(packet), origin_host, self._port)
 
     # ------------------------------------------------------------------
     # telemetry plane (reserved ``_bus.stat.*`` subjects)
@@ -901,12 +964,19 @@ class BusDaemon:
         """
         if not self.up:
             return
-        payload = encode({"host": self.host.address,
-                          "time": self.sim.now,
-                          "interval": self.config.stat_interval,
-                          "metrics": snapshot})
-        self.publish_stat_bytes(
-            f"{STAT_SUBJECT_PREFIX}.{self.host.address}.daemon", payload)
+        record = {"host": self.host.address,
+                  "time": self.sim.now,
+                  "interval": self.config.stat_interval,
+                  "metrics": snapshot}
+        subject = f"{STAT_SUBJECT_PREFIX}.{self.host.address}.daemon"
+        if self.shard_count > 1:
+            # shard planes are separate snapshot sources: an extra
+            # subject element keeps them distinct for aggregators, and
+            # the payload says which plane this is
+            record["shard"] = self.shard
+            subject = f"{subject}.s{self.shard}"
+        payload = encode(record)
+        self.publish_stat_bytes(subject, payload)
 
     def publish_stat_bytes(self, subject: str, payload: bytes,
                            via: tuple = ()) -> None:
@@ -935,7 +1005,7 @@ class BusDaemon:
         backlog_cap = self.config.flow.max_send_backlog
         while self._stat_queue:
             if backlog_cap is not None:
-                backlog = self.host.send_backlog
+                backlog = self.host.send_backlog_for(self.shard)
                 if backlog >= backlog_cap:
                     if self._stat_pump_event is None:
                         self._stat_pump_event = self.sim.schedule(
@@ -946,7 +1016,8 @@ class BusDaemon:
             packet = Packet(PacketKind.DATA, self.session, [envelope],
                             session_start=self.session_started)
             # plain encoding: stat frames never touch the string table
-            self._stat_socket.broadcast(encode_packet(packet), STAT_PORT)
+            self._stat_socket.broadcast(encode_packet(packet),
+                                        self._stat_port)
 
     def _stat_pump_fire(self) -> None:
         self._stat_pump_event = None
@@ -984,6 +1055,16 @@ class BusDaemon:
     @property
     def type_table(self) -> Optional[TypeTable]:
         """This session's sender-side type table (None with the plane off)."""
+        return self._type_table
+
+    def type_table_for(self, subject: str) -> Optional[TypeTable]:
+        """The sender-side type table a publish on ``subject`` rides.
+
+        On an unsharded daemon this is the one session table; the
+        :class:`~repro.core.sharding.ShardedDaemon` override routes to
+        the owning shard's table so typed payloads reference ids the
+        carrying plane actually defines.
+        """
         return self._type_table
 
     def type_resolver(self, session: str):
@@ -1040,6 +1121,26 @@ class BusDaemon:
                 len(t) for t in self._peer_type_tables.values()),
             "typedef_unresolved_dropped": self.typedef_unresolved_dropped,
         }
+
+    def shard_stats(self) -> List[Dict[str, Any]]:
+        """This daemon's shard-plane placement and per-plane load.
+
+        One row per shard plane; the classic unsharded daemon is plane
+        0 of 1.  The :class:`~repro.core.sharding.ShardedDaemon`
+        facade concatenates its members' rows, so callers see the same
+        shape either way.
+        """
+        return [{
+            "shard": self.shard,
+            "shards": self.shard_count,
+            "session": self.session,
+            "port": self._port,
+            "stat_port": self._stat_port,
+            "published": self.published,
+            "delivered": self.delivered,
+            "subscriptions": len(self._subscriptions),
+            "skipped_frames": self.skipped_frames,
+        }]
 
     def guaranteed_pending(self) -> List[LedgerEntry]:
         return self._gpub.pending()

@@ -19,6 +19,11 @@ subscribers records delivered ledger ids in stable storage, so a
 retransmission after a consumer crash is acknowledged but not delivered
 twice — at-least-once to the application, exactly-once when nothing
 fails.
+
+Both sides take a ``namespace``: shard daemons above plane 0 suffix
+their stable-store keys with it so the shards of one host never share a
+ledger, counter, or seen-set.  The empty default keeps the classic key
+names (and ledger-id format) untouched.
 """
 
 from __future__ import annotations
@@ -63,12 +68,20 @@ class GuaranteedPublisher:
 
     def __init__(self, sim: Simulator, host: Host, ack_quorum: int,
                  retransmit_interval: float,
-                 republish: Callable[[LedgerEntry], None]):
+                 republish: Callable[[LedgerEntry], None],
+                 namespace: str = ""):
         self.sim = sim
         self.host = host
         self.ack_quorum = ack_quorum
         self.retransmit_interval = retransmit_interval
         self._republish = republish
+        self._ledger_key = _LEDGER_KEY + namespace
+        self._counter_key = _COUNTER_KEY + namespace
+        # ledger ids stay `<host>/...`-prefixed (ack unicast routing
+        # parses the origin host off the front) but carry the namespace
+        # so ids from different shard planes can never collide
+        self._id_prefix = (f"{host.address}/{namespace}." if namespace
+                           else f"{host.address}/")
         self._entries: Dict[str, LedgerEntry] = {}
         self._timer: Optional[PeriodicTimer] = None
         self.retransmits = 0
@@ -83,9 +96,9 @@ class GuaranteedPublisher:
 
         This runs *before* the first transmission, per the paper.
         """
-        counter = self.host.stable.get(_COUNTER_KEY, 0) + 1
-        self.host.stable.put(_COUNTER_KEY, counter)
-        ledger_id = f"{self.host.address}/{counter}"
+        counter = self.host.stable.get(self._counter_key, 0) + 1
+        self.host.stable.put(self._counter_key, counter)
+        ledger_id = f"{self._id_prefix}{counter}"
         entry = LedgerEntry(ledger_id, subject, sender, payload, [])
         self._entries[ledger_id] = entry
         self._persist()
@@ -137,11 +150,11 @@ class GuaranteedPublisher:
             self._republish(entry)
 
     def _persist(self) -> None:
-        self.host.stable.put(_LEDGER_KEY,
+        self.host.stable.put(self._ledger_key,
                              [e.to_record() for e in self._entries.values()])
 
     def _load(self) -> None:
-        for record in self.host.stable.get(_LEDGER_KEY, []):
+        for record in self.host.stable.get(self._ledger_key, []):
             entry = LedgerEntry.from_record(record)
             self._entries[entry.ledger_id] = entry
 
@@ -149,20 +162,21 @@ class GuaranteedPublisher:
 class GuaranteedConsumer:
     """The consume side: stable dedupe of delivered ledger ids."""
 
-    def __init__(self, host: Host):
+    def __init__(self, host: Host, namespace: str = ""):
         self.host = host
-        self._seen = set(host.stable.get(_SEEN_KEY, []))
+        self._seen_key = _SEEN_KEY + namespace
+        self._seen = set(host.stable.get(self._seen_key, []))
 
     def first_delivery(self, ledger_id: str) -> bool:
         """True exactly once per ledger id, durably across crashes."""
         if ledger_id in self._seen:
             return False
         self._seen.add(ledger_id)
-        self.host.stable.put(_SEEN_KEY, sorted(self._seen))
+        self.host.stable.put(self._seen_key, sorted(self._seen))
         return True
 
     def seen(self, ledger_id: str) -> bool:
         return ledger_id in self._seen
 
     def recover(self) -> None:
-        self._seen = set(self.host.stable.get(_SEEN_KEY, []))
+        self._seen = set(self.host.stable.get(self._seen_key, []))

@@ -27,7 +27,6 @@ wants are skipped from their digests without decoding a body.
 
 from __future__ import annotations
 
-import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
@@ -206,12 +205,6 @@ class WanLink:
         for key, queue in self._queues.items():
             out[f"{key[0]}->{key[1]}"] = queue.stats.snapshot()
         return out
-
-    def stats(self) -> Dict[str, Any]:
-        """Deprecated alias for :meth:`link_stats`."""
-        warnings.warn("WanLink.stats() is deprecated; use link_stats()",
-                      DeprecationWarning, stacklevel=2)
-        return self.link_stats()
 
 
 class RouterLeg:
@@ -675,12 +668,6 @@ class Router:
                        "deferred": leg.forwards_deferred,
                        "shed": leg.forwards_shed}
                 for name, leg in self.legs.items()}
-
-    def stats(self) -> Dict[str, Dict[str, int]]:
-        """Deprecated alias for :meth:`leg_stats`."""
-        warnings.warn("Router.stats() is deprecated; use leg_stats()",
-                      DeprecationWarning, stacklevel=2)
-        return self.leg_stats()
 
     def flow_stats(self) -> Dict[str, Any]:
         """The WAN link's per-direction flow-control queue stats."""

@@ -9,6 +9,13 @@ Failure semantics follow Section 2 of the paper: fail-stop only.  A crashed
 host silently drops every frame addressed to it and everything queued in its
 CPU pipelines; volatile listener state is the owning protocol's problem
 (protocols re-register on the recovery callback).
+
+A host may expose several CPU *lanes* — independent send/receive pipelines
+modelling one process pinned per core.  Lane 0 is the default everywhere, so
+single-lane hosts behave exactly as before; the sharded daemon binds each
+shard's sockets to its own lane so shard planes serialize independently
+(the multi-core story behind ``BusConfig.subject_shards``).  The wire is
+still shared: lanes contend on the same Ethernet segment.
 """
 
 from __future__ import annotations
@@ -43,8 +50,11 @@ class Host:
         #: epoch increments on every crash; stale deliveries check it
         self.epoch = 0
         self._ports: Dict[int, Callable[[Frame], None]] = {}
-        self._send_ready_at = 0.0   # CPU send pipeline is serialized
-        self._recv_ready_at = 0.0   # so is receive processing
+        #: port -> CPU lane whose receive pipeline processes its frames
+        self._port_lanes: Dict[int, int] = {}
+        # CPU pipelines are serialized *per lane*; lane 0 always exists
+        self._send_ready_at: Dict[int, float] = {0: 0.0}
+        self._recv_ready_at: Dict[int, float] = {0: 0.0}
         self._crash_listeners: List[Callable[[], None]] = []
         self._recover_listeners: List[Callable[[], None]] = []
         # traffic counters (used by benches)
@@ -67,8 +77,11 @@ class Host:
         self._up = False
         self.epoch += 1
         self._ports.clear()
-        self._send_ready_at = self.sim.now
-        self._recv_ready_at = self.sim.now
+        self._port_lanes.clear()
+        for lane in self._send_ready_at:
+            self._send_ready_at[lane] = self.sim.now
+        for lane in self._recv_ready_at:
+            self._recv_ready_at[lane] = self.sim.now
         for listener in list(self._crash_listeners):
             listener()
 
@@ -89,14 +102,24 @@ class Host:
     # ------------------------------------------------------------------
     # ports
     # ------------------------------------------------------------------
-    def bind(self, port: int, handler: Callable[[Frame], None]) -> None:
-        """Attach ``handler`` to ``port``.  One listener per port."""
+    def bind(self, port: int, handler: Callable[[Frame], None],
+             lane: int = 0) -> None:
+        """Attach ``handler`` to ``port``.  One listener per port.
+
+        ``lane`` selects which CPU receive pipeline serializes the port's
+        inbound frames (default lane 0 — the pre-lane behaviour).
+        """
         if port in self._ports:
             raise PortInUseError(f"{self.address}: port {port} already bound")
         self._ports[port] = handler
+        if lane:
+            self._port_lanes[port] = lane
+            self._send_ready_at.setdefault(lane, 0.0)
+            self._recv_ready_at.setdefault(lane, 0.0)
 
     def unbind(self, port: int) -> None:
         self._ports.pop(port, None)
+        self._port_lanes.pop(port, None)
 
     def port_bound(self, port: int) -> bool:
         return port in self._ports
@@ -106,13 +129,19 @@ class Host:
     # ------------------------------------------------------------------
     @property
     def send_backlog(self) -> float:
-        """Seconds of queued work in the CPU send pipeline.
+        """Seconds of queued work in the busiest CPU send lane.
 
         0.0 means the next :meth:`send_frame` starts immediately; the
         daemon's flow-control pump reads this to pace admission to the
-        wire instead of queueing unboundedly inside the pipeline.
+        wire instead of queueing unboundedly inside the pipeline.  With
+        a single lane (the default) this is exactly the old scalar.
         """
-        return max(0.0, self._send_ready_at - self.sim.now)
+        now = self.sim.now
+        return max(0.0, max(self._send_ready_at.values()) - now)
+
+    def send_backlog_for(self, lane: int) -> float:
+        """Seconds of queued work in one CPU send lane (shard pacing)."""
+        return max(0.0, self._send_ready_at.get(lane, 0.0) - self.sim.now)
 
     def _jitter(self) -> float:
         """Per-packet CPU-cost noise factor (scheduler/cache effects)."""
@@ -121,8 +150,8 @@ class Host:
         u = self.sim.rng(f"cpu.{self.address}").random()
         return 1.0 + self.cost.cpu_jitter * (2.0 * u - 1.0)
 
-    def send_frame(self, frame: Frame) -> float:
-        """Push ``frame`` through the CPU send pipeline onto the segment.
+    def send_frame(self, frame: Frame, lane: int = 0) -> float:
+        """Push ``frame`` through one CPU send lane onto the segment.
 
         Returns the simulated time at which the frame reaches the wire.
         Raises if the host is down or detached from a segment.
@@ -132,9 +161,9 @@ class Host:
         if self.segment is None:
             raise RuntimeError(f"{self.address} is not attached to a segment")
         cpu = self.cost.send_cpu_time(frame.size) * self._jitter()
-        start = max(self.sim.now, self._send_ready_at)
+        start = max(self.sim.now, self._send_ready_at.get(lane, 0.0))
         done = start + cpu
-        self._send_ready_at = done
+        self._send_ready_at[lane] = done
         self.frames_sent += 1
         self.bytes_sent += frame.size
         epoch = self.epoch
@@ -153,9 +182,10 @@ class Host:
         if not self._up:
             return
         cpu = self.cost.recv_cpu_time(frame.size) * self._jitter()
-        start = max(self.sim.now, self._recv_ready_at)
+        lane = self._port_lanes.get(frame.dst_port, 0)
+        start = max(self.sim.now, self._recv_ready_at.get(lane, 0.0))
         done = start + cpu
-        self._recv_ready_at = done
+        self._recv_ready_at[lane] = done
         epoch = self.epoch
 
         def _to_socket() -> None:

@@ -66,10 +66,11 @@ class DatagramSocket:
 
     def __init__(self, sim: Simulator, host: Host, port: int,
                  on_datagram: Callable[[bytes, int, Endpoint], None],
-                 metrics=None, metrics_name: str = ""):
+                 metrics=None, metrics_name: str = "", lane: int = 0):
         self.sim = sim
         self.host = host
         self.port = port
+        self.lane = lane
         self.on_datagram = on_datagram
         self._reassembly: Dict[Tuple[Address, int], Dict[int, bytes]] = {}
         self._reassembly_deadline: Dict[Tuple[Address, int], float] = {}
@@ -81,7 +82,7 @@ class DatagramSocket:
         scope = metrics.scope(metrics_name) if metrics_name else metrics
         self._datagrams_sent = scope.counter("datagrams_sent")
         self._datagrams_received = scope.counter("datagrams_received")
-        host.bind(port, self._on_frame)
+        host.bind(port, self._on_frame, lane=lane)
 
     @property
     def datagrams_sent(self) -> int:
@@ -107,7 +108,7 @@ class DatagramSocket:
             frame = Frame(self.host.address, dst, self.port, dst_port,
                           _Fragment(next(_datagram_ids), 0, 1, data, size),
                           size)
-            self.host.send_frame(frame)
+            self.host.send_frame(frame, lane=self.lane)
             self._datagrams_sent.value += 1
             return
         datagram_id = next(_datagram_ids)
@@ -117,7 +118,7 @@ class DatagramSocket:
             frag = _Fragment(datagram_id, index, count, chunk, size)
             frame = Frame(self.host.address, dst, self.port, dst_port,
                           frag, len(chunk) + FRAGMENT_HEADER)
-            self.host.send_frame(frame)
+            self.host.send_frame(frame, lane=self.lane)
         self._datagrams_sent.value += 1
 
     def broadcast(self, data: bytes, dst_port: int) -> None:

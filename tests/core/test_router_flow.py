@@ -108,14 +108,12 @@ def test_link_send_returns_admission():
     assert stats["a->b"]["deferred"] == 1
 
 
-def test_deprecated_stats_aliases_warn_and_match():
-    import warnings
-
+def test_deprecated_stats_aliases_are_gone():
+    # the PR-7 `stats()` shims had their two-release grace period;
+    # `leg_stats()`/`link_stats()` are the only spellings now
     sim, east, west, router = two_buses()
     sim.run_until(1.0)
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        assert router.stats() == router.leg_stats()
-        assert router.link.stats() == router.link.link_stats()
-    kinds = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-    assert len(kinds) == 2
+    assert not hasattr(router, "stats")
+    assert not hasattr(router.link, "stats")
+    assert len(router.leg_stats()) == 2
+    assert "messages_dropped" in router.link.link_stats()

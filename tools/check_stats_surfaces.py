@@ -36,15 +36,20 @@ ALLOWED = {
     ("repro/core/daemon.py", "BusDaemon.flow_stats"),
     ("repro/core/daemon.py", "BusDaemon.publish_stats"),
     ("repro/core/daemon.py", "BusDaemon.reliable_stats"),
+    ("repro/core/daemon.py", "BusDaemon.shard_stats"),
     ("repro/core/daemon.py", "BusDaemon.wire_stats"),
     ("repro/core/reliable.py", "ReliableReceiver.stats"),
     ("repro/core/reliable.py", "ReliableSender.retention_stats"),
     ("repro/core/router.py", "Router.flow_stats"),
     ("repro/core/router.py", "Router.leg_stats"),
-    ("repro/core/router.py", "Router.stats"),          # deprecated shim
     ("repro/core/router.py", "Router.wire_stats"),
     ("repro/core/router.py", "WanLink.link_stats"),
-    ("repro/core/router.py", "WanLink.stats"),         # deprecated shim
+    # the ShardedDaemon facade mirrors BusDaemon's grandfathered
+    # surfaces, aggregated across shard planes (one entry per mirror)
+    ("repro/core/sharding.py", "ShardedDaemon.flow_stats"),
+    ("repro/core/sharding.py", "ShardedDaemon.reliable_stats"),
+    ("repro/core/sharding.py", "ShardedDaemon.shard_stats"),
+    ("repro/core/sharding.py", "ShardedDaemon.wire_stats"),
     ("repro/core/wire.py", "decode_memo_stats"),
 }
 
